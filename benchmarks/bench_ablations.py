@@ -1,0 +1,62 @@
+"""Ablation benches A1-A3 (victim cache, start cost, load granularity)."""
+
+from conftest import run_once
+from repro.harness import (
+    run_load_granularity_ablation,
+    run_start_cost_ablation,
+    run_victim_cache_ablation,
+)
+
+
+def test_ablation_victim_cache(benchmark, ctx):
+    result = run_once(benchmark, run_victim_cache_ablation, ctx)
+    cycles = {p.value: p.cycles for p in result.points}
+    benchmark.extra_info["cycles_by_size"] = cycles
+    # Footnote 1: a 64-entry victim cache suffices — growing it further
+    # buys nothing, while removing it entirely costs overflow squashes.
+    assert cycles[256] >= cycles[64] * 0.99
+    assert result.points[0].extra["overflow_squashes"] >= (
+        result.points[-1].extra["overflow_squashes"]
+    )
+    print()
+    print(result.render())
+
+
+def test_ablation_start_cost(benchmark, ctx):
+    result = run_once(benchmark, run_start_cost_ablation, ctx)
+    benchmark.extra_info["cycles_by_cost"] = {
+        p.value: p.cycles for p in result.points
+    }
+    # Checkpoints must be lightweight: a 1000-cycle checkpoint visibly
+    # hurts relative to the paper's zero-cost model.
+    assert result.points[-1].cycles > result.points[0].cycles
+    print()
+    print(result.render())
+
+
+def test_ablation_load_granularity(benchmark, ctx):
+    result = run_once(benchmark, run_load_granularity_ablation, ctx)
+    line, word = result.points
+    benchmark.extra_info["line_violations"] = line.extra["violations"]
+    benchmark.extra_info["word_violations"] = word.extra["violations"]
+    # Word granularity can only remove (false-sharing) violations.
+    assert word.extra["violations"] <= line.extra["violations"]
+    print()
+    print(result.render())
+
+
+def test_ablation_adaptive_spacing(benchmark, ctx):
+    from repro.harness import run_adaptive_spacing_ablation
+
+    result = run_once(benchmark, run_adaptive_spacing_ablation, ctx)
+    gains = {
+        str(p.value): p.extra["adaptive_gain"] for p in result.points
+    }
+    benchmark.extra_info["adaptive_gain"] = gains
+    # Section 5.1's suggestion should never lose badly, and should win
+    # for the large-thread benchmark whose size the fixed spacing
+    # under-covers.
+    assert all(g > 0.93 for g in gains.values())
+    assert gains["delivery_outer"] >= 1.0
+    print()
+    print(result.render())

@@ -1,0 +1,76 @@
+"""Component microbenchmarks: simulator building-block throughput.
+
+Not a paper artifact; these quantify the substrate itself (useful when
+tuning the pure-Python simulator) and guard against performance
+regressions in the hot paths.
+"""
+
+import pytest
+
+from repro.core.engine import TLSConfig, TLSEngine
+from repro.memory.cache import CacheGeometry
+from repro.memory.l2 import SpeculativeL2
+from repro.minidb import Database
+from repro.sim import ExecutionMode, Machine, MachineConfig
+from repro.tpcc import TPCCScale, generate_workload
+
+
+def test_bench_l2_store_load_throughput(benchmark):
+    geom = CacheGeometry(size_bytes=256 * 1024, assoc=4, line_size=32)
+
+    def setup():
+        l2 = SpeculativeL2(geom, directory=None)
+        engine = TLSEngine(l2, n_cpus=4, config=TLSConfig())
+        l2.directory = engine
+        epochs = [
+            engine.start_epoch(
+                __import__("repro.trace.events", fromlist=["EpochTrace"])
+                .EpochTrace(epoch_id=i, records=[]),
+                cpu=i,
+                now=0.0,
+            )
+            for i in range(4)
+        ]
+        return (engine, epochs), {}
+
+    def work(engine, epochs):
+        for i in range(500):
+            e = epochs[i % 4]
+            engine.load(e, 0x1000 + 32 * (i % 64), 4, pc=1)
+            engine.store(e, 0x9000 + 32 * (i % 64), 4, pc=2)
+
+    benchmark.pedantic(work, setup=setup, rounds=5, iterations=1)
+
+
+def test_bench_btree_insert_throughput(benchmark):
+    def setup():
+        db = Database()
+        return (db.create_table("t"),), {}
+
+    def work(tree):
+        for i in range(1000):
+            tree.insert((i,), i)
+
+    benchmark.pedantic(work, setup=setup, rounds=5, iterations=1)
+
+
+def test_bench_trace_generation(benchmark):
+    benchmark.pedantic(
+        generate_workload,
+        args=("new_order",),
+        kwargs={"n_transactions": 1, "scale": TPCCScale.tiny()},
+        rounds=5,
+        iterations=1,
+    )
+
+
+def test_bench_simulation_rate(benchmark):
+    gw = generate_workload("new_order", n_transactions=2)
+
+    def work():
+        return Machine(
+            MachineConfig.for_mode(ExecutionMode.BASELINE)
+        ).run(gw.trace)
+
+    stats = benchmark.pedantic(work, rounds=3, iterations=1)
+    benchmark.extra_info["instructions"] = stats.instructions_retired

@@ -1,0 +1,29 @@
+"""Benchmark E5 — regenerates the Figure 2 tuning experiment.
+
+Iterative dependence removal on NEW ORDER: each step removes one
+dependence source from the engine; with sub-threads the trend is
+steadily downward, while all-or-nothing TLS improves erratically.
+"""
+
+from conftest import run_once
+from repro.harness import run_figure2
+
+
+def test_figure2_tuning(benchmark):
+    result = run_once(benchmark, run_figure2, n_transactions=2)
+    benchmark.extra_info["steps"] = {
+        s.label: {
+            "all_or_nothing": round(s.all_or_nothing_cycles),
+            "subthreads": round(s.subthread_cycles),
+        }
+        for s in result.steps
+    }
+    # Fully tuned beats untuned under sub-thread TLS.
+    assert (
+        result.steps[-1].subthread_cycles
+        < result.steps[0].subthread_cycles
+    )
+    # Most steps help (Figure 2(b)'s gradual-improvement claim).
+    assert result.subthread_monotone_fraction() >= 0.5
+    print()
+    print(result.render())

@@ -1,0 +1,19 @@
+"""Benchmark E6 — regenerates the Figure 4 secondary-violation study."""
+
+from conftest import run_once
+from repro.harness import run_figure4
+
+
+def test_figure4_start_tables(benchmark):
+    result = run_once(benchmark, run_figure4)
+    benchmark.extra_info["with_tables_failed"] = round(
+        result.with_tables_failed
+    )
+    benchmark.extra_info["without_tables_failed"] = round(
+        result.without_tables_failed
+    )
+    # Figure 4(b): start tables restart strictly less work.
+    assert result.failed_cycles_saved > 0
+    assert result.with_tables_cycles <= result.without_tables_cycles
+    print()
+    print(result.render())

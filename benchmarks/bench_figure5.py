@@ -1,0 +1,33 @@
+"""Benchmark E1 — regenerates Figure 5 (one bench per paper benchmark).
+
+Each bench simulates one TPC-C benchmark under all five execution modes
+and reports the normalized bars; ``extra_info`` carries the series the
+paper plots (normalized execution time per mode).
+
+Run with ``pytest benchmarks/bench_figure5.py --benchmark-only -s`` to
+see the rendered bars.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.harness import run_figure5
+from repro.sim import ExecutionMode
+from repro.tpcc import BENCHMARKS
+
+
+@pytest.mark.parametrize("bench_name", sorted(BENCHMARKS))
+def test_figure5_benchmark(benchmark, ctx, bench_name):
+    result = run_once(benchmark, run_figure5, ctx,
+                      benchmarks=[bench_name])
+    bars = {b.mode: b.normalized for b in result.bars}
+    benchmark.extra_info["normalized_time"] = bars
+    benchmark.extra_info["speedup_baseline"] = result.speedup(
+        bench_name, ExecutionMode.BASELINE
+    )
+    # Paper shape: sub-thread TLS never loses to all-or-nothing.
+    assert bars[ExecutionMode.BASELINE] <= (
+        bars[ExecutionMode.NO_SUBTHREAD] * 1.02
+    )
+    print()
+    print(result.render())

@@ -1,0 +1,51 @@
+"""Benchmark E2 — regenerates Figure 6 (sub-thread count x spacing).
+
+One bench per Figure 6 panel; ``extra_info`` carries the grid of
+normalized execution times the paper plots.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.harness import run_figure6
+from repro.harness.figure6 import FIGURE6_BENCHMARKS, SPACINGS, SUBTHREAD_COUNTS
+
+
+@pytest.mark.parametrize("bench_name", FIGURE6_BENCHMARKS)
+def test_figure6_panel(benchmark, ctx, bench_name):
+    result = run_once(
+        benchmark,
+        run_figure6,
+        ctx,
+        benchmarks=(bench_name,),
+        counts=SUBTHREAD_COUNTS,
+        spacings=SPACINGS,
+    )
+    grid = {
+        f"{c.subthreads}st@{c.spacing}": round(c.normalized, 3)
+        for c in result.cells
+    }
+    benchmark.extra_info["grid"] = grid
+    # Paper shape: more sub-thread contexts never hurt materially
+    # ("adding more sub-threads does not ... have a negative impact").
+    for spacing in SPACINGS:
+        two = result.cell(bench_name, 2, spacing).normalized
+        eight = result.cell(bench_name, 8, spacing).normalized
+        assert eight <= two * 1.05
+    print()
+    print(result.render())
+
+
+def test_figure6_paper_size(benchmark):
+    """Figure 6 at paper-sized (~50k-instruction) threads."""
+    from repro.harness import run_figure6_paper_size
+
+    result = run_once(benchmark, run_figure6_paper_size)
+    benchmark.extra_info["grid"] = {
+        f"{c.subthreads}st@{c.spacing}": round(c.normalized, 3)
+        for c in result.cells
+    }
+    best = result.best_cell("new_order")
+    assert best.spacing >= 1000  # small spacings under-cover 50k threads
+    print()
+    print(result.render())

@@ -1,0 +1,25 @@
+"""Benchmark E4 — regenerates Table 2 (benchmark statistics)."""
+
+from conftest import run_once
+from repro.harness import run_table2
+
+
+def test_table2(benchmark, ctx):
+    result = run_once(benchmark, run_table2, ctx)
+    benchmark.extra_info["rows"] = {
+        r.benchmark: {
+            "coverage": round(r.coverage, 3),
+            "thread_size": round(r.avg_thread_size),
+            "threads_per_txn": round(r.threads_per_transaction, 1),
+        }
+        for r in result.rows
+    }
+    # Paper shape: NEW ORDER 150 multiplies the thread count ~10x, and
+    # DELIVERY OUTER's threads are the largest.
+    assert result.row("new_order_150").threads_per_transaction > (
+        5 * result.row("new_order").threads_per_transaction
+    )
+    largest = max(result.rows, key=lambda r: r.avg_thread_size)
+    assert largest.benchmark == "delivery_outer"
+    print()
+    print(result.render())

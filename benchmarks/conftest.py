@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harness.
+
+Traces are generated once per session so the benchmarks measure
+*simulation*, not trace generation (mirroring the paper's setup where
+binaries are fixed and the simulator is the object of study).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    """Default-scale context, small transaction count for bench runtime."""
+    return ExperimentContext(n_transactions=2)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a heavyweight experiment once per round (3 rounds)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=3, iterations=1, warmup_rounds=0)

@@ -1,0 +1,116 @@
+"""Parallelizing your own code on the TLS simulator.
+
+The library is not TPC-C-specific: anything that runs against the
+``repro.minidb`` engine under a :class:`TraceRecorder` can be split into
+speculative threads with the trace builder and simulated.
+
+This example ingests rows into a B-tree two ways:
+
+* **hot ingest** — every speculative thread appends ascending keys, so
+  all threads fight over the rightmost leaf.  TLS cannot conjure
+  parallelism out of a serial dependence chain; the simulation shows the
+  slowdown honestly.
+* **partitioned ingest** — each thread gets its own key range (separate
+  leaves), with one shared row-counter update per batch as the residual
+  dependence.  Speculation wins, and a sub-thread spacing sweep shows
+  the Figure 6 trade-off on custom code.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro.minidb import Database, EngineOptions
+from repro.sim import ExecutionMode, Machine, MachineConfig
+from repro.trace import (
+    TraceRecorder,
+    TransactionTraceBuilder,
+    WorkloadTrace,
+)
+
+BATCHES = 8
+ROWS = 12
+
+
+def build_ingest_trace(tls_mode: bool, partitioned: bool) -> WorkloadTrace:
+    recorder = TraceRecorder()
+    db = Database(recorder=recorder, options=EngineOptions.optimized())
+    table = db.create_table("events", entry_size=48)
+    counter_addr = recorder.addr_map.txn_counter_addr() + 64
+    if partitioned:
+        # Pre-populate (untraced) so each batch's key range already
+        # lives in its own leaves — otherwise every batch funnels
+        # through the initially-single root leaf.
+        for batch in range(BATCHES):
+            for j in range(100, 900, 16):
+                table.insert((batch * 1_000 + j,), {"seed": j})
+
+    workload = WorkloadTrace(
+        name="partitioned" if partitioned else "hot"
+    )
+    builder = TransactionTraceBuilder("ingest", recorder,
+                                      tls_mode=tls_mode)
+    builder.begin_serial()
+    txn = db.begin()
+    builder.begin_parallel()
+    for batch in range(BATCHES):
+        builder.begin_epoch()
+        recorder.compute(recorder.costs.app_work)
+        for i in range(ROWS):
+            key = (batch * 1_000 + i) if partitioned else (
+                batch * ROWS + i
+            )
+            table.insert((key,), {"payload": key})
+            txn.log("event.insert", (key,))
+        # Shared row counter: one residual dependence per batch.
+        recorder.load(counter_addr, 8, "ingest.counter_read")
+        recorder.store(counter_addr, 8, "ingest.counter_write")
+    builder.end_parallel()
+    builder.begin_serial()
+    txn.commit()
+    db.commit_epilogue()
+    workload.transactions.append(builder.finish())
+    return workload
+
+
+def sweep(label: str, partitioned: bool) -> None:
+    seq = build_ingest_trace(tls_mode=False, partitioned=partitioned)
+    tls = build_ingest_trace(tls_mode=True, partitioned=partitioned)
+    base = Machine(
+        MachineConfig.for_mode(ExecutionMode.SEQUENTIAL)
+    ).run(seq).total_cycles
+    print(f"\n== {label} ==  (sequential: {base:.0f} cycles, "
+          f"{tls.epoch_count()} epochs of "
+          f"~{tls.average_epoch_size():.0f} instructions)")
+    print(f"{'config':<28}{'cycles':>10}{'speedup':>9}{'violations':>12}")
+    nosub = Machine(
+        MachineConfig.for_mode(ExecutionMode.NO_SUBTHREAD)
+    ).run(tls)
+    print(
+        f"{'all-or-nothing':<28}{nosub.total_cycles:>10.0f}"
+        f"{base / nosub.total_cycles:>9.2f}"
+        f"{nosub.primary_violations:>12}"
+    )
+    for spacing in (50, 100, 200, 400):
+        cfg = MachineConfig().with_tls(
+            max_subthreads=8, subthread_spacing=spacing
+        )
+        stats = Machine(cfg).run(tls)
+        label_row = f"8 sub-threads @ every {spacing}"
+        print(
+            f"{label_row:<28}{stats.total_cycles:>10.0f}"
+            f"{base / stats.total_cycles:>9.2f}"
+            f"{stats.primary_violations:>12}"
+        )
+
+
+def main() -> None:
+    sweep("hot ingest (one shared leaf — inherently serial)",
+          partitioned=False)
+    sweep("partitioned ingest (independent leaves + shared counter)",
+          partitioned=True)
+    print("\nTakeaway: speculation tolerates *dependences*, it does not")
+    print("remove them — partition the data, keep the shared touches")
+    print("rare, and let sub-threads absorb what remains.")
+
+
+if __name__ == "__main__":
+    main()

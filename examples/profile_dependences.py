@@ -1,0 +1,41 @@
+"""Experiment E7: the hardware dependence profiler on DELIVERY OUTER.
+
+Shows the Section 3.1 mechanism in action: exposed-load tables capture
+load PCs, the L2 attributes failed speculation cycles to
+(load PC, store PC) pairs, and the software interface reports them
+ranked by harm — the input a programmer uses to decide what to fix.
+
+Run:  python examples/profile_dependences.py
+"""
+
+from repro.sim import ExecutionMode, Machine, MachineConfig
+from repro.tpcc import generate_workload
+
+
+def main() -> None:
+    gw = generate_workload("delivery_outer", tls_mode=True,
+                           n_transactions=4)
+    print(
+        f"DELIVERY OUTER: {gw.trace.epoch_count()} epochs, "
+        f"avg {gw.trace.average_epoch_size():.0f} instructions each\n"
+    )
+    for mode in (ExecutionMode.NO_SUBTHREAD, ExecutionMode.BASELINE):
+        machine = Machine(MachineConfig.for_mode(mode))
+        stats = machine.run(gw.trace)
+        print(f"== {mode} ==")
+        print(stats.summary())
+        print(machine.engine.profiler.report(pc_names=gw.recorder.pcs,
+                                             n=6))
+        table = machine.engine.exposed_load_tables[0]
+        print(
+            f"(exposed-load table CPU0: {table.updates} updates, "
+            f"{table.lookups} lookups, "
+            f"{table.tag_mismatches} tag aliases)\n"
+        )
+    print("Note how the same dependences cost far fewer failed cycles")
+    print("under BASELINE: sub-threads rewind only to the checkpoint")
+    print("containing the violated load.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Crash recovery on the minidb storage engine.
+
+minidb is a real (if small) transactional engine: with physical logging
+enabled, every B-tree modification writes a redo record to the WAL, and
+``repro.minidb.recovery.recover`` rebuilds exactly the committed state —
+in-flight transactions at the "crash" vanish.
+
+This demo runs a few TPC-C-flavoured transfers, crashes mid-transaction,
+recovers, and verifies the recovered balances.
+
+Run:  python examples/recovery_demo.py
+"""
+
+from repro.minidb import Database, recover
+from repro.minidb.recovery import committed_transactions
+
+
+def main() -> None:
+    db = Database(physical_logging=True)
+    accounts = db.create_table("accounts")
+
+    setup = db.begin()
+    for i in range(8):
+        accounts.insert((i,), {"balance": 100})
+    setup.commit()
+
+    def transfer(src, dst, amount):
+        txn = db.begin()
+        accounts.read_modify_write(
+            (src,), lambda row: {**row, "balance": row["balance"] - amount}
+        )
+        accounts.read_modify_write(
+            (dst,), lambda row: {**row, "balance": row["balance"] + amount}
+        )
+        return txn
+
+    transfer(0, 1, 30).commit()
+    transfer(2, 3, 50).commit()
+
+    # A transfer is in flight when the "machine crashes": it debited the
+    # source but the crash hits before the credit... actually before the
+    # commit record — either way it must not survive recovery.
+    in_flight = transfer(4, 5, 999)
+    del in_flight  # no commit: this transaction is a loser
+
+    print(f"log: {len(db.log.records)} records, committed txns = "
+          f"{sorted(committed_transactions(db.log.records))}")
+
+    recovered = recover(db.log.records)
+    table = recovered.table("accounts")
+    balances = {k[0]: v["balance"] for k, v in table.scan_range((-1,))}
+    print("recovered balances:", balances)
+
+    assert balances[0] == 70 and balances[1] == 130
+    assert balances[2] == 50 and balances[3] == 150
+    assert balances[4] == 100 and balances[5] == 100, (
+        "the in-flight transfer must not survive recovery"
+    )
+    total = sum(balances.values())
+    assert total == 800, "money must be conserved"
+    print(f"total conserved: {total}; the in-flight transfer vanished. OK")
+
+
+if __name__ == "__main__":
+    main()

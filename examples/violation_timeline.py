@@ -1,0 +1,43 @@
+"""Draw Figure-1/4-style execution timelines from real simulations.
+
+The paper's conceptual figures show speculative threads being violated
+and rewound.  With event recording enabled, the simulator reproduces
+those diagrams from actual executions: first the Figure 4 secondary-
+violation microbenchmark (with and without start tables), then a real
+NEW ORDER transaction.
+
+Run:  python examples/violation_timeline.py
+"""
+
+from repro.harness.figure4 import figure4_workload
+from repro.sim import Machine, MachineConfig, render_timeline
+from repro.tpcc import TPCCScale, generate_workload
+
+
+def show(title, workload, config):
+    machine = Machine(config, record_events=True)
+    machine.run(workload)
+    print(f"\n== {title} ==")
+    print(render_timeline(machine.events, width=68))
+
+
+def main() -> None:
+    show(
+        "Figure 4(b): selective secondary violations (start tables ON)",
+        figure4_workload(),
+        MachineConfig(),
+    )
+    show(
+        "Figure 4(a): start tables OFF — threads 3 and 4 restart fully",
+        figure4_workload(),
+        MachineConfig().with_tls(start_tables=False),
+    )
+    gw = generate_workload(
+        "new_order", n_transactions=1, scale=TPCCScale.tiny()
+    )
+    show("one NEW ORDER transaction (per-item epochs)", gw.trace,
+         MachineConfig())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Reproduction of *Tolerating Dependences Between Large Speculative
+Threads Via Sub-Threads* (Colohan, Ailamaki, Steffan, Mowry — ISCA 2006).
+
+Public API tour:
+
+* :mod:`repro.core` — the paper's contribution: the TLS protocol engine
+  with sub-thread checkpointing, selective secondary violations, and the
+  hardware dependence profiler.
+* :mod:`repro.memory` — the speculative memory hierarchy (write-through
+  L1s, multi-version speculative L2, victim cache, timing).
+* :mod:`repro.cpu` — the per-core timing model.
+* :mod:`repro.minidb` — the BerkeleyDB-like storage engine substrate.
+* :mod:`repro.tpcc` — the TPC-C workload and trace driver.
+* :mod:`repro.sim` — the whole-machine simulator
+  (:class:`~repro.sim.Machine`, :class:`~repro.sim.MachineConfig`).
+* :mod:`repro.harness` — regenerates every table and figure.
+
+Quickstart::
+
+    from repro.tpcc import generate_workload
+    from repro.sim import Machine, MachineConfig, ExecutionMode
+
+    trace = generate_workload("new_order").trace
+    stats = Machine(MachineConfig.for_mode(ExecutionMode.BASELINE)).run(trace)
+    print(stats.summary("NEW ORDER baseline"))
+"""
+
+__version__ = "1.0.0"
+
+from .sim import ExecutionMode, Machine, MachineConfig, SimulationStats
+
+__all__ = [
+    "ExecutionMode",
+    "Machine",
+    "MachineConfig",
+    "SimulationStats",
+    "__version__",
+]

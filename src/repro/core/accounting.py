@@ -1,0 +1,78 @@
+"""Cycle-category accounting used for the Figure 5 execution breakdowns.
+
+The paper's bar graphs split each CPU's cycles into: **Idle** (no thread
+available), **Failed** (executed code later undone by a violation),
+**Synchronization** (stalled on a latch during escaped speculation),
+**Cache miss** (stalled on the memory hierarchy), and **Busy** (retiring
+instructions).  We additionally separate the **TLS software overhead**
+instructions so the TLS-SEQ bar's 0.93-1.05x factor is visible.
+
+Cycles are accrued per sub-thread while an epoch runs and are only
+*classified* at the end: sub-threads that commit fold their pending cycles
+into the good categories; sub-threads that are rewound fold everything
+into Failed.  This matches the paper's definition of Failed as "all time
+spent executing failed code".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+
+class Category:
+    """Cycle breakdown categories (Figure 5 legend)."""
+
+    BUSY = "busy"
+    MISS = "cache_miss"
+    SYNC = "sync"
+    OVERHEAD = "tls_overhead"
+    IDLE = "idle"
+    FAILED = "failed"
+
+    GOOD = (BUSY, MISS, SYNC, OVERHEAD)
+    ALL = (BUSY, MISS, SYNC, OVERHEAD, IDLE, FAILED)
+
+
+@dataclass
+class CycleCounters:
+    """A mutable bag of per-category cycle counts."""
+
+    cycles: Dict[str, float] = field(
+        default_factory=lambda: {c: 0.0 for c in Category.ALL}
+    )
+
+    def add(self, category: str, amount: float) -> None:
+        if amount:
+            self.cycles[category] += amount
+
+    def merge(self, other: "CycleCounters") -> None:
+        for cat, val in other.cycles.items():
+            if val:
+                self.cycles[cat] += val
+
+    def merge_as_failed(self, other: "CycleCounters") -> None:
+        """Fold every cycle of ``other`` into the Failed category."""
+        self.cycles[Category.FAILED] += other.total()
+
+    def total(self) -> float:
+        return sum(self.cycles.values())
+
+    def get(self, category: str) -> float:
+        return self.cycles[category]
+
+    def clear(self) -> None:
+        for cat in self.cycles:
+            self.cycles[cat] = 0.0
+
+    def copy(self) -> "CycleCounters":
+        out = CycleCounters()
+        out.cycles = dict(self.cycles)
+        return out
+
+    @staticmethod
+    def sum_of(counters: Iterable["CycleCounters"]) -> "CycleCounters":
+        out = CycleCounters()
+        for c in counters:
+            out.merge(c)
+        return out

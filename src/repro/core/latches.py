@@ -1,0 +1,122 @@
+"""Latch table for escaped-speculation synchronization.
+
+The parallelized transactions still use short-duration latches inside the
+storage engine (buffer-pool page latches, the tree latch).  Following the
+paper's database work, latch operations execute as *escaped* speculation:
+they take effect immediately and globally, and a speculative epoch that
+blocks on a held latch accrues Synchronization stall cycles (the "Latch
+Stall" component of Figure 5).
+
+When a sub-thread is rewound, latches it acquired are released
+(compensation), waking any waiters.  Latch acquisition in the traces
+follows a fixed ordering discipline (tree latch before page latch, pages
+by level), so waits-for cycles cannot form; the machine nevertheless has a
+deadlock breaker as a safety net.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class LatchState:
+    holder: Optional[object] = None  # the EpochExecution (or serial token)
+    recursion: int = 0
+    waiters: List[object] = field(default_factory=list)
+
+
+class LatchTable:
+    """Global latch state; timing is handled by the machine."""
+
+    def __init__(self):
+        self._latches: Dict[int, LatchState] = {}
+        self.acquisitions = 0
+        self.contended_acquisitions = 0
+
+    def _state(self, latch_id: int) -> LatchState:
+        state = self._latches.get(latch_id)
+        if state is None:
+            state = LatchState()
+            self._latches[latch_id] = state
+        return state
+
+    def try_acquire(self, latch_id: int, owner: object) -> bool:
+        """Acquire if free (or re-entrant); else enqueue and return False."""
+        state = self._state(latch_id)
+        if state.holder is None:
+            state.holder = owner
+            state.recursion = 1
+            self.acquisitions += 1
+            return True
+        if state.holder is owner:
+            state.recursion += 1
+            self.acquisitions += 1
+            return True
+        if owner not in state.waiters:
+            state.waiters.append(owner)
+        self.contended_acquisitions += 1
+        return False
+
+    def cancel_wait(self, latch_id: int, owner: object) -> None:
+        state = self._latches.get(latch_id)
+        if state and owner in state.waiters:
+            state.waiters.remove(owner)
+
+    def release(self, latch_id: int, owner: object) -> Optional[object]:
+        """Release one level of the latch.
+
+        Returns the waiter granted the latch (now its holder), if the
+        latch became free and someone was waiting; else None.
+        """
+        state = self._latches.get(latch_id)
+        if state is None or state.holder is not owner:
+            # Releases of latches we no longer hold (acquired by rewound
+            # code whose compensation already ran) are ignored.
+            return None
+        state.recursion -= 1
+        if state.recursion > 0:
+            return None
+        state.holder = None
+        if state.waiters:
+            granted = state.waiters.pop(0)
+            state.holder = granted
+            state.recursion = 1
+            return granted
+        return None
+
+    def release_all(self, latch_ids: List[int], owner: object) -> List[object]:
+        """Compensation for a rewind: force-release the given latches.
+
+        Returns every waiter granted a latch as a result.
+        """
+        granted: List[object] = []
+        for latch_id in latch_ids:
+            state = self._latches.get(latch_id)
+            if state is None:
+                continue
+            if state.holder is owner:
+                state.recursion = 0
+                state.holder = None
+                if state.waiters:
+                    winner = state.waiters.pop(0)
+                    state.holder = winner
+                    state.recursion = 1
+                    granted.append(winner)
+        return granted
+
+    def holder_of(self, latch_id: int) -> Optional[object]:
+        state = self._latches.get(latch_id)
+        return state.holder if state else None
+
+    def waiters_of(self, latch_id: int) -> List[object]:
+        state = self._latches.get(latch_id)
+        return list(state.waiters) if state else []
+
+    def held_by(self, owner: object) -> List[int]:
+        return [
+            lid
+            for lid, state in self._latches.items()
+            if state.holder is owner
+        ]

@@ -1,0 +1,89 @@
+"""Violating-load prediction (Sections 1.2, 2.2 and 5.1).
+
+The paper discusses two prediction-based alternatives/complements to
+sub-threads:
+
+* **Dependence synchronization** (Moshovos et al.): predict which loads
+  will violate and make them *wait* for the corresponding store instead
+  of speculating through.  The paper reports trying this and finding it
+  ineffective — "only one of several dynamic instances of the same load
+  PC caused the dependence", so a PC-indexed predictor over-synchronizes.
+  We implement it (``TLSConfig.sync_predicted_loads``) so the comparison
+  can be reproduced.
+
+* **Predictor-guided sub-thread placement** (Section 5.1): "we want to
+  start sub-threads before loads which frequently cause violations" — a
+  sub-thread checkpoint is opened right before a predicted-violating
+  load, so a violation rewinds almost nothing.  Implemented as
+  ``TLSConfig.predictor_subthreads``; with a perfect predictor, two
+  sub-threads per thread would suffice (the paper's thought experiment).
+
+Both policies share this predictor: a PC-indexed table of saturating
+confidence counters trained on actual violations (the load PC recovered
+through the exposed-load table, exactly as the profiler does).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class ViolatingLoadPredictor:
+    """PC-indexed saturating-counter predictor of violating loads."""
+
+    def __init__(
+        self,
+        threshold: int = 1,
+        max_confidence: int = 3,
+        capacity: int = 256,
+    ):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+        self.max_confidence = max_confidence
+        self.capacity = capacity
+        self._confidence: Dict[int, int] = {}
+        self.trainings = 0
+        self.predictions = 0
+        self.hits = 0
+
+    def train(self, load_pc: Optional[int]) -> None:
+        """A violation was attributed to ``load_pc``."""
+        if load_pc is None:
+            return
+        self.trainings += 1
+        current = self._confidence.get(load_pc, 0)
+        if load_pc not in self._confidence and (
+            len(self._confidence) >= self.capacity
+        ):
+            self._evict_weakest()
+        self._confidence[load_pc] = min(self.max_confidence, current + 1)
+
+    def cool(self, load_pc: Optional[int]) -> None:
+        """Negative feedback: the predicted load committed untroubled."""
+        if load_pc is None:
+            return
+        current = self._confidence.get(load_pc)
+        if current is None:
+            return
+        if current <= 1:
+            del self._confidence[load_pc]
+        else:
+            self._confidence[load_pc] = current - 1
+
+    def _evict_weakest(self) -> None:
+        weakest = min(self._confidence, key=self._confidence.get)
+        del self._confidence[weakest]
+
+    def predicts_violation(self, load_pc: int) -> bool:
+        self.predictions += 1
+        hit = self._confidence.get(load_pc, 0) >= self.threshold
+        if hit:
+            self.hits += 1
+        return hit
+
+    def tracked_pcs(self) -> Dict[int, int]:
+        return dict(self._confidence)
+
+    def __len__(self) -> int:
+        return len(self._confidence)

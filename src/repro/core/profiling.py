@@ -1,0 +1,137 @@
+"""Hardware dependence profiling (Section 3.1).
+
+Two structures feed the iterative parallelization workflow:
+
+* a per-CPU **exposed-load table** — a moderate-sized direct-mapped table
+  of load PCs indexed by cache tag, updated on every exposed speculative
+  load; when the L2 detects a violation it asks the loading CPU for the PC
+  stored under the violated line's tag (aliasing can mis-attribute, just
+  as in the real hardware);
+
+* an L2-side list of **(load PC, store PC) pairs with total failed
+  speculation cycles**; when the list overflows, the entry with the least
+  total cycles is reclaimed.  Sorting this list by cycles gives the
+  programmer the most harmful dependences to remove first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+class ExposedLoadTable:
+    """Per-CPU direct-mapped table: cache-tag index -> (tag, load PC)."""
+
+    def __init__(self, entries: int = 1024, line_size: int = 32):
+        if entries & (entries - 1):
+            raise ValueError("entry count must be a power of two")
+        self.entries = entries
+        self.line_size = line_size
+        self._tags: List[Optional[int]] = [None] * entries
+        self._pcs: List[int] = [0] * entries
+        self.updates = 0
+        self.lookups = 0
+        self.tag_mismatches = 0
+
+    def _index(self, line_addr: int) -> int:
+        return (line_addr // self.line_size) % self.entries
+
+    def update(self, line_addr: int, pc: int) -> None:
+        """Record the PC of an exposed speculative load of this line."""
+        idx = self._index(line_addr)
+        self._tags[idx] = line_addr
+        self._pcs[idx] = pc
+        self.updates += 1
+
+    def lookup(self, line_addr: int) -> Optional[int]:
+        """PC of the last exposed load of this line, if still resident."""
+        self.lookups += 1
+        idx = self._index(line_addr)
+        if self._tags[idx] != line_addr:
+            self.tag_mismatches += 1
+            return None
+        return self._pcs[idx]
+
+    def clear(self) -> None:
+        self._tags = [None] * self.entries
+
+
+@dataclass
+class ProfiledDependence:
+    """One (load PC, store PC) pair with attributed failed cycles."""
+
+    load_pc: Optional[int]
+    store_pc: Optional[int]
+    failed_cycles: float = 0.0
+    violations: int = 0
+
+
+class DependenceProfiler:
+    """L2-side list of violated dependences ranked by failed cycles."""
+
+    def __init__(self, capacity: int = 64):
+        self.capacity = capacity
+        self._pairs: Dict[
+            Tuple[Optional[int], Optional[int]], ProfiledDependence
+        ] = {}
+        self.reclaims = 0
+
+    def record(
+        self,
+        load_pc: Optional[int],
+        store_pc: Optional[int],
+        failed_cycles: float,
+    ) -> None:
+        key = (load_pc, store_pc)
+        entry = self._pairs.get(key)
+        if entry is None:
+            if len(self._pairs) >= self.capacity:
+                self._reclaim()
+            entry = ProfiledDependence(load_pc=load_pc, store_pc=store_pc)
+            self._pairs[key] = entry
+        entry.failed_cycles += failed_cycles
+        entry.violations += 1
+
+    def _reclaim(self) -> None:
+        """Evict the entry with the least total failed cycles."""
+        victim = min(self._pairs.values(), key=lambda e: e.failed_cycles)
+        del self._pairs[(victim.load_pc, victim.store_pc)]
+        self.reclaims += 1
+
+    def top(self, n: int = 10) -> List[ProfiledDependence]:
+        """The n most harmful dependences, worst first."""
+        return sorted(
+            self._pairs.values(),
+            key=lambda e: e.failed_cycles,
+            reverse=True,
+        )[:n]
+
+    def report(self, pc_names=None, n: int = 10) -> str:
+        """Human-readable profile (the paper's software interface)."""
+        lines = [
+            f"{'failed cycles':>14}  {'violations':>10}  load PC -> store PC"
+        ]
+        for dep in self.top(n):
+            if pc_names is not None:
+                load = (
+                    pc_names.name(dep.load_pc)
+                    if dep.load_pc is not None
+                    else "<unknown>"
+                )
+                store = (
+                    pc_names.name(dep.store_pc)
+                    if dep.store_pc is not None
+                    else "<unknown>"
+                )
+            else:
+                load = hex(dep.load_pc) if dep.load_pc is not None else "?"
+                store = hex(dep.store_pc) if dep.store_pc is not None else "?"
+            lines.append(
+                f"{dep.failed_cycles:>14.0f}  {dep.violations:>10}  "
+                f"{load} -> {store}"
+            )
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._pairs)

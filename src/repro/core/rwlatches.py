@@ -1,0 +1,170 @@
+"""Reader-writer latch table.
+
+The minidb B-tree models its read paths as latch-free (shared latches
+that never conflict in read-mostly descents) and its write paths with
+exclusive leaf latches — that is what the TPC-C traces contain.  For
+custom workloads that want explicit shared/exclusive semantics, this
+table provides classic reader-writer latches with writer preference:
+
+* any number of readers may hold the latch together;
+* a writer waits for all readers to drain and blocks new readers
+  (no writer starvation);
+* grants are FIFO within a class.
+
+It mirrors :class:`~repro.core.latches.LatchTable`'s interface shape so
+a machine integration can swap tables; the current Machine uses the
+exclusive-only table because that is the paper's trace discipline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+READ = "R"
+WRITE = "W"
+
+
+@dataclass
+class RWLatchState:
+    readers: Set[object] = field(default_factory=set)
+    writer: Optional[object] = None
+    writer_recursion: int = 0
+    #: FIFO of (owner, mode) waiting for the latch.
+    waiters: List[Tuple[object, str]] = field(default_factory=list)
+
+
+class RWLatchTable:
+    """Shared/exclusive latches with writer preference."""
+
+    def __init__(self):
+        self._latches: Dict[int, RWLatchState] = {}
+        self.acquisitions = 0
+        self.contended_acquisitions = 0
+
+    def _state(self, latch_id: int) -> RWLatchState:
+        state = self._latches.get(latch_id)
+        if state is None:
+            state = RWLatchState()
+            self._latches[latch_id] = state
+        return state
+
+    # ------------------------------------------------------------------
+    # Acquisition
+    # ------------------------------------------------------------------
+
+    def try_acquire(self, latch_id: int, owner: object,
+                    mode: str = WRITE) -> bool:
+        """Acquire if compatible; else enqueue and return False."""
+        if mode not in (READ, WRITE):
+            raise ValueError(f"bad latch mode {mode!r}")
+        state = self._state(latch_id)
+        if mode == READ:
+            if owner in state.readers or state.writer is owner:
+                self.acquisitions += 1
+                return True  # re-entrant (write latch implies read)
+            writer_waiting = any(m == WRITE for _, m in state.waiters)
+            if state.writer is None and not writer_waiting:
+                state.readers.add(owner)
+                self.acquisitions += 1
+                return True
+        else:
+            if state.writer is owner:
+                state.writer_recursion += 1
+                self.acquisitions += 1
+                return True
+            if state.writer is None and not state.readers:
+                state.writer = owner
+                state.writer_recursion = 1
+                self.acquisitions += 1
+                return True
+            if state.writer is None and state.readers == {owner}:
+                # Upgrade: the sole reader becomes the writer.
+                state.readers.clear()
+                state.writer = owner
+                state.writer_recursion = 1
+                self.acquisitions += 1
+                return True
+        if (owner, mode) not in state.waiters:
+            state.waiters.append((owner, mode))
+        self.contended_acquisitions += 1
+        return False
+
+    def cancel_wait(self, latch_id: int, owner: object) -> None:
+        state = self._latches.get(latch_id)
+        if state is None:
+            return
+        state.waiters = [
+            (o, m) for o, m in state.waiters if o is not owner
+        ]
+
+    # ------------------------------------------------------------------
+    # Release
+    # ------------------------------------------------------------------
+
+    def release(self, latch_id: int, owner: object
+                ) -> List[Tuple[object, str]]:
+        """Release one hold; returns waiters granted as a result."""
+        state = self._latches.get(latch_id)
+        if state is None:
+            return []
+        if state.writer is owner:
+            state.writer_recursion -= 1
+            if state.writer_recursion > 0:
+                return []
+            state.writer = None
+        elif owner in state.readers:
+            state.readers.remove(owner)
+        else:
+            return []  # not a holder (compensated release)
+        return self._grant_waiters(state)
+
+    def _grant_waiters(self, state: RWLatchState
+                       ) -> List[Tuple[object, str]]:
+        granted: List[Tuple[object, str]] = []
+        while state.waiters:
+            owner, mode = state.waiters[0]
+            if mode == WRITE:
+                if state.writer is None and not state.readers:
+                    state.waiters.pop(0)
+                    state.writer = owner
+                    state.writer_recursion = 1
+                    granted.append((owner, WRITE))
+                break  # a waiting writer blocks everything behind it
+            if state.writer is not None:
+                break
+            state.waiters.pop(0)
+            state.readers.add(owner)
+            granted.append((owner, READ))
+        return granted
+
+    def release_all(self, latch_ids: List[int], owner: object
+                    ) -> List[Tuple[int, object, str]]:
+        """Compensation for rewinds; returns (latch, owner, mode) grants."""
+        granted = []
+        for latch_id in latch_ids:
+            state = self._latches.get(latch_id)
+            if state is None:
+                continue
+            if state.writer is owner:
+                state.writer = None
+                state.writer_recursion = 0
+            state.readers.discard(owner)
+            for winner, mode in self._grant_waiters(state):
+                granted.append((latch_id, winner, mode))
+        return granted
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def holders_of(self, latch_id: int) -> Tuple[Optional[object],
+                                                 Set[object]]:
+        state = self._latches.get(latch_id)
+        if state is None:
+            return None, set()
+        return state.writer, set(state.readers)
+
+    def waiters_of(self, latch_id: int) -> List[Tuple[object, str]]:
+        state = self._latches.get(latch_id)
+        return list(state.waiters) if state else []

@@ -1,0 +1,6 @@
+"""Per-core timing model: issue/latency accounting and branch prediction."""
+
+from .branch import GShareBranchPredictor
+from .pipeline import CorePipeline, PipelineConfig
+
+__all__ = ["GShareBranchPredictor", "CorePipeline", "PipelineConfig"]

@@ -1,0 +1,178 @@
+"""CLI entry point: ``python -m repro.harness <experiment> [options]``."""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from ..sim.config import table1_text
+from ..tpcc import TPCCScale
+from .ablations import (
+    run_adaptive_spacing_ablation,
+    run_l1_tracking_ablation,
+    run_load_granularity_ablation,
+    run_overlap_loads_ablation,
+    run_start_cost_ablation,
+    run_victim_cache_ablation,
+)
+from .dependences import run_dependence_analysis
+from .export import export_json, export_text
+from .extensions import run_prediction_comparison
+from .figure2 import run_figure2
+from .figure4 import run_figure4
+from .figure5 import run_figure5
+from .figure6 import run_figure6
+from .kvstudy import run_kv_study
+from .mixstudy import run_mix_latency
+from .runner import ExperimentContext
+from .scalability import run_scalability
+from .seedsweep import run_seed_sweep
+from .table2 import run_table2
+from .whentouse import run_when_to_use
+
+EXPERIMENTS = (
+    "table1",
+    "table2",
+    "figure2",
+    "figure4",
+    "figure5",
+    "figure6",
+    "ablations",
+    "extensions",
+    "scalability",
+    "seeds",
+    "whentouse",
+    "kv",
+    "dependences",
+    "mix",
+    "all",
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiment", choices=EXPERIMENTS)
+    parser.add_argument(
+        "--transactions",
+        type=int,
+        default=4,
+        help="transactions per benchmark run (default 4)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="use the tiny TPC-C scale (fast, for smoke tests)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("default", "tiny", "paper"),
+        default=None,
+        help=(
+            "TPC-C scale; 'paper' uses the official cardinalities "
+            "(very slow under pure Python)"
+        ),
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="also write each experiment's results as JSON into DIR",
+    )
+    args = parser.parse_args(argv)
+
+    if args.scale == "paper":
+        scale = TPCCScale.paper()
+    elif args.scale == "tiny" or args.tiny:
+        scale = TPCCScale.tiny()
+    else:
+        scale = None
+    ctx = ExperimentContext(
+        n_transactions=args.transactions, seed=args.seed, scale=scale
+    )
+
+    def experiment_results(name: str):
+        """Run one experiment; returns (results, rendered_text)."""
+        if name == "table1":
+            text = table1_text()
+            return text, text
+        if name == "table2":
+            result = run_table2(ctx)
+        elif name == "figure2":
+            result = run_figure2(
+                n_transactions=args.transactions, seed=args.seed,
+                scale=scale,
+            )
+        elif name == "figure4":
+            result = run_figure4()
+        elif name == "figure5":
+            result = run_figure5(ctx)
+        elif name == "figure6":
+            result = run_figure6(ctx)
+        elif name == "ablations":
+            results = [
+                run_victim_cache_ablation(ctx),
+                run_start_cost_ablation(ctx),
+                run_load_granularity_ablation(ctx),
+                run_l1_tracking_ablation(ctx),
+                run_adaptive_spacing_ablation(ctx),
+                run_overlap_loads_ablation(ctx),
+            ]
+            return results, "\n\n".join(r.render() for r in results)
+        elif name == "extensions":
+            result = run_prediction_comparison(ctx)
+        elif name == "scalability":
+            result = run_scalability(ctx)
+        elif name == "whentouse":
+            result = run_when_to_use(ctx)
+        elif name == "kv":
+            result = run_kv_study(
+                n_batches=args.transactions, seed=args.seed
+            )
+        elif name == "mix":
+            result = run_mix_latency(
+                n_transactions=max(args.transactions, 12),
+                seed=args.seed, scale=scale,
+            )
+        elif name == "dependences":
+            result = run_dependence_analysis(
+                n_transactions=args.transactions, seed=args.seed,
+                scale=scale,
+            )
+        elif name == "seeds":
+            result = run_seed_sweep(
+                n_transactions=args.transactions, scale=scale
+            )
+        else:
+            raise ValueError(name)
+        return result, result.render()
+
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+
+    wanted = (
+        list(EXPERIMENTS[:-1]) if args.experiment == "all"
+        else [args.experiment]
+    )
+    for name in wanted:
+        print(f"\n### {name} ###", flush=True)
+        t0 = time.time()
+        result, text = experiment_results(name)
+        print(text)
+        if args.out is not None:
+            if name == "table1":
+                export_text(text, args.out / "table1.txt")
+            else:
+                export_json(result, args.out / f"{name}.json")
+        print(f"[{name} took {time.time() - t0:.1f}s]", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

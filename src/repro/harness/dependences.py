@@ -1,0 +1,105 @@
+"""Experiment E12: dependent loads per thread across tuning levels.
+
+Reproduces the paper's §3.2 progress metric: "Going through this process
+reduces the total number of data dependences between threads (from 292
+dependent loads per thread to 75 dependent loads for NEW ORDER)."
+
+For each engine tuning level (the Figure 2 sequence) we regenerate the
+trace and *statically* count dependent loads per speculative thread —
+no simulation involved, exactly as the metric is defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..minidb import EngineOptions
+from ..tpcc import TPCCScale, generate_workload
+from ..trace.analysis import dependence_stats
+from .figure2 import TUNING_STEPS
+from .report import render_table
+
+
+@dataclass
+class DependencePoint:
+    label: str
+    dependent_loads_per_thread: float
+    dependent_fraction: float
+    top_site: str
+
+
+@dataclass
+class DependenceResult:
+    benchmark: str
+    points: List[DependencePoint] = field(default_factory=list)
+
+    def first(self) -> DependencePoint:
+        return self.points[0]
+
+    def last(self) -> DependencePoint:
+        return self.points[-1]
+
+    def reduction_factor(self) -> float:
+        if self.last().dependent_loads_per_thread == 0:
+            return float("inf")
+        return (
+            self.first().dependent_loads_per_thread
+            / self.last().dependent_loads_per_thread
+        )
+
+    def render(self) -> str:
+        table = render_table(
+            ["tuning step", "dependent loads / thread", "fraction",
+             "dominant site"],
+            [
+                [p.label, p.dependent_loads_per_thread,
+                 p.dependent_fraction, p.top_site]
+                for p in self.points
+            ],
+            title=(
+                f"E12 — dependent loads per thread ({self.benchmark})"
+            ),
+        )
+        return (
+            f"{table}\n"
+            f"reduction: {self.reduction_factor():.1f}x "
+            f"(paper: 292 -> 75 for NEW ORDER, ~3.9x)"
+        )
+
+
+def run_dependence_analysis(
+    benchmark: str = "new_order",
+    n_transactions: int = 4,
+    seed: int = 42,
+    scale: Optional[TPCCScale] = None,
+) -> DependenceResult:
+    result = DependenceResult(benchmark=benchmark)
+    options = EngineOptions.unoptimized()
+    for label, flag in TUNING_STEPS:
+        if flag is not None:
+            options = options.without(flag)
+        gw = generate_workload(
+            benchmark,
+            tls_mode=True,
+            options=options,
+            n_transactions=n_transactions,
+            seed=seed,
+            scale=scale,
+        )
+        stats = dependence_stats(gw.trace)
+        top = stats.top_sites(1)
+        top_site = (
+            gw.recorder.pcs.name(top[0][0]) if top else "(none)"
+        )
+        result.points.append(
+            DependencePoint(
+                label=label,
+                dependent_loads_per_thread=round(
+                    stats.dependent_loads_per_epoch(), 1
+                ),
+                dependent_fraction=round(stats.dependent_fraction(), 3),
+                top_site=top_site,
+            )
+        )
+    return result

@@ -1,0 +1,43 @@
+"""Machine-readable export of experiment results.
+
+Every harness driver returns a plain dataclass; this module serializes
+them to JSON so downstream tooling (plotting scripts, regression
+trackers) can consume the numbers without scraping the text tables.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+
+def result_to_dict(result: Any) -> Any:
+    """Convert a result object (or list/dict/scalar of them) to JSON-able
+    plain data.  Dataclasses are converted recursively; tuples become
+    lists; unknown objects fall back to ``str``."""
+    if dataclasses.is_dataclass(result) and not isinstance(result, type):
+        return {
+            field.name: result_to_dict(getattr(result, field.name))
+            for field in dataclasses.fields(result)
+        }
+    if isinstance(result, dict):
+        return {str(k): result_to_dict(v) for k, v in result.items()}
+    if isinstance(result, (list, tuple)):
+        return [result_to_dict(v) for v in result]
+    if isinstance(result, (str, int, float, bool)) or result is None:
+        return result
+    return str(result)
+
+
+def export_json(result: Any, path) -> None:
+    """Write a result object as JSON to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(result_to_dict(result), fh, indent=1, sort_keys=True)
+
+
+def export_text(text: str, path) -> None:
+    with open(path, "w") as fh:
+        fh.write(text)
+        if not text.endswith("\n"):
+            fh.write("\n")

@@ -1,0 +1,121 @@
+"""Extension experiments: the prediction-based alternatives (E8).
+
+Reproduces the paper's two prediction discussions:
+
+* Section 1.2 / 2.2: a Moshovos-style dependence predictor that
+  synchronizes predicted-violating loads — which the paper tried and
+  found ineffective ("only one of several dynamic instances of the same
+  load PC caused the dependence"), because PC-indexed prediction
+  over-synchronizes.  The comparison shows violations collapsing while
+  synchronization stall balloons.
+
+* Section 5.1: predictor-guided sub-thread placement — checkpoint right
+  before predicted-violating loads.  Complementary to (and competitive
+  with) the periodic placement policy, using far fewer contexts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.accounting import Category
+from ..sim import ExecutionMode, Machine, MachineConfig
+from .report import render_table
+from .runner import ExperimentContext, mode_trace, run_mode
+
+
+@dataclass
+class PredictionPoint:
+    label: str
+    cycles: float
+    speedup: float
+    violations: int
+    sync_fraction: float
+    failed_fraction: float
+    predictor_entries: int
+
+
+@dataclass
+class PredictionResult:
+    benchmark: str
+    points: List[PredictionPoint] = field(default_factory=list)
+
+    def point(self, label: str) -> PredictionPoint:
+        for p in self.points:
+            if p.label == label:
+                return p
+        raise KeyError(label)
+
+    def render(self) -> str:
+        return render_table(
+            ["policy", "speedup", "violations", "sync", "failed",
+             "pred PCs"],
+            [
+                [
+                    p.label,
+                    p.speedup,
+                    p.violations,
+                    p.sync_fraction,
+                    p.failed_fraction,
+                    p.predictor_entries,
+                ]
+                for p in self.points
+            ],
+            title=(
+                "E8 — prediction vs sub-threads "
+                f"({self.benchmark})"
+            ),
+        )
+
+
+#: The compared policies: label -> MachineConfig factory.
+def _policy_configs():
+    return [
+        ("all-or-nothing",
+         MachineConfig.for_mode(ExecutionMode.NO_SUBTHREAD)),
+        ("all-or-nothing + sync predictor",
+         MachineConfig.for_mode(ExecutionMode.NO_SUBTHREAD).with_tls(
+             sync_predicted_loads=True)),
+        ("all-or-nothing + value predictor",
+         MachineConfig.for_mode(ExecutionMode.NO_SUBTHREAD).with_tls(
+             value_predict_loads=True)),
+        ("sub-threads (periodic, paper)",
+         MachineConfig.for_mode(ExecutionMode.BASELINE)),
+        ("sub-threads (predictor-placed)",
+         MachineConfig().with_tls(
+             predictor_subthreads=True, subthread_spacing=1_000_000_000)),
+        ("sub-threads (periodic + predictor)",
+         MachineConfig.for_mode(ExecutionMode.BASELINE).with_tls(
+             predictor_subthreads=True)),
+    ]
+
+
+def run_prediction_comparison(
+    ctx: Optional[ExperimentContext] = None,
+    benchmark: str = "new_order_150",
+) -> PredictionResult:
+    ctx = ctx or ExperimentContext()
+    seq = run_mode(
+        mode_trace(ctx, benchmark, ExecutionMode.SEQUENTIAL),
+        ExecutionMode.SEQUENTIAL,
+    )
+    trace = mode_trace(ctx, benchmark, ExecutionMode.BASELINE)
+    result = PredictionResult(benchmark=benchmark)
+    for label, config in _policy_configs():
+        machine = Machine(config)
+        stats = machine.run(trace)
+        frac = stats.breakdown_fractions()
+        result.points.append(
+            PredictionPoint(
+                label=label,
+                cycles=stats.total_cycles,
+                speedup=seq.total_cycles / stats.total_cycles,
+                violations=stats.primary_violations
+                + stats.secondary_violations,
+                sync_fraction=frac[Category.SYNC],
+                failed_fraction=frac[Category.FAILED],
+                predictor_entries=len(machine.engine.load_predictor),
+            )
+        )
+    return result

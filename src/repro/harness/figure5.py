@@ -1,0 +1,142 @@
+"""Experiment E1 — Figure 5: overall performance of the optimized
+benchmarks on a 4-CPU system.
+
+For each benchmark, five bars: SEQUENTIAL, TLS-SEQ, NO SUB-THREAD,
+BASELINE (8 sub-threads), and NO SPECULATION, each broken into the
+paper's cycle categories (Idle / Failed / Synchronization / Cache miss /
+Busy, plus TLS overhead).  All bars are normalized to SEQUENTIAL = 1.0,
+summing CPU-cycles over the 4 CPUs exactly as the paper does (so the
+SEQUENTIAL bar is ~75% Idle: three of the four CPUs sit unused).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.accounting import Category
+from ..sim import ExecutionMode
+from ..tpcc import BENCHMARKS, DISPLAY_NAMES
+from .report import render_stacked_bars, render_table
+from .runner import ExperimentContext, mode_trace, run_mode
+
+#: Display order of breakdown categories (Figure 5 legend order).
+CATEGORY_ORDER = (
+    Category.IDLE,
+    Category.FAILED,
+    Category.SYNC,
+    Category.MISS,
+    Category.OVERHEAD,
+    Category.BUSY,
+)
+
+MODE_LABELS = {
+    ExecutionMode.SEQUENTIAL: "SEQUENTIAL",
+    ExecutionMode.TLS_SEQ: "TLS-SEQ",
+    ExecutionMode.NO_SUBTHREAD: "NO SUB-THREAD",
+    ExecutionMode.BASELINE: "BASELINE",
+    ExecutionMode.NO_SPECULATION: "NO SPECULATION",
+}
+
+
+@dataclass
+class Figure5Bar:
+    benchmark: str
+    mode: str
+    total_cycles: float
+    #: Height relative to the benchmark's SEQUENTIAL run.
+    normalized: float
+    #: Per-category fraction of this bar's own CPU-cycles.
+    fractions: Dict[str, float]
+    speedup: float
+    primary_violations: int
+    secondary_violations: int
+
+    def normalized_stack(self) -> Dict[str, float]:
+        """Category heights scaled so they sum to ``normalized``."""
+        return {
+            cat: frac * self.normalized
+            for cat, frac in self.fractions.items()
+        }
+
+
+@dataclass
+class Figure5Result:
+    bars: List[Figure5Bar] = field(default_factory=list)
+
+    def for_benchmark(self, benchmark: str) -> List[Figure5Bar]:
+        return [b for b in self.bars if b.benchmark == benchmark]
+
+    def bar(self, benchmark: str, mode: str) -> Figure5Bar:
+        for b in self.bars:
+            if b.benchmark == benchmark and b.mode == mode:
+                return b
+        raise KeyError((benchmark, mode))
+
+    def speedup(self, benchmark: str, mode: str) -> float:
+        return self.bar(benchmark, mode).speedup
+
+    def render(self) -> str:
+        sections = []
+        for benchmark in dict.fromkeys(b.benchmark for b in self.bars):
+            bars = self.for_benchmark(benchmark)
+            sections.append(
+                render_stacked_bars(
+                    [MODE_LABELS[b.mode] for b in bars],
+                    [b.normalized_stack() for b in bars],
+                    CATEGORY_ORDER,
+                    title=f"Figure 5 — {DISPLAY_NAMES[benchmark]}",
+                )
+            )
+            sections.append(
+                render_table(
+                    ["mode", "norm. time", "speedup", "violations"],
+                    [
+                        [
+                            MODE_LABELS[b.mode],
+                            b.normalized,
+                            b.speedup,
+                            f"{b.primary_violations}"
+                            f"+{b.secondary_violations}",
+                        ]
+                        for b in bars
+                    ],
+                )
+            )
+            sections.append("")
+        return "\n".join(sections)
+
+
+def run_figure5(
+    ctx: Optional[ExperimentContext] = None,
+    benchmarks: Optional[List[str]] = None,
+    modes: Optional[List[str]] = None,
+) -> Figure5Result:
+    """Regenerate Figure 5 (all seven benchmarks by default)."""
+    ctx = ctx or ExperimentContext()
+    benchmarks = benchmarks or list(BENCHMARKS)
+    modes = modes or list(ExecutionMode.ALL)
+    result = Figure5Result()
+    for benchmark in benchmarks:
+        baseline_cycles: Optional[float] = None
+        for mode in modes:
+            stats = run_mode(mode_trace(ctx, benchmark, mode), mode)
+            if baseline_cycles is None:
+                if mode != ExecutionMode.SEQUENTIAL:
+                    raise ValueError(
+                        "modes must start with SEQUENTIAL for normalization"
+                    )
+                baseline_cycles = stats.total_cycles
+            result.bars.append(
+                Figure5Bar(
+                    benchmark=benchmark,
+                    mode=mode,
+                    total_cycles=stats.total_cycles,
+                    normalized=stats.total_cycles / baseline_cycles,
+                    fractions=stats.breakdown_fractions(),
+                    speedup=baseline_cycles / stats.total_cycles,
+                    primary_violations=stats.primary_violations,
+                    secondary_violations=stats.secondary_violations,
+                )
+            )
+    return result

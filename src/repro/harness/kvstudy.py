@@ -1,0 +1,97 @@
+"""Extension experiment E11: TLS on a key-value workload (paper §1.3).
+
+Sweeps the Zipf skew of a YCSB-style request stream and measures the
+three TLS configurations.  The paper's claim under test: the sub-thread
+hardware "can be used to support large and dependent speculative
+threads in other application domains as well".
+
+Expected shape: under uniform access the epochs are nearly independent
+and even all-or-nothing TLS does fine; as skew concentrates traffic on
+hot keys, violations rise and all-or-nothing decays much faster than
+sub-thread TLS — the same story as TPC-C, in a second domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence
+
+from ..kv import KVSpec, generate_kv_workload
+from ..sim import ExecutionMode, Machine, MachineConfig
+from .report import render_table
+
+THETAS = (0.0, 0.9, 1.3)
+
+
+@dataclass
+class KVPoint:
+    zipf_theta: float
+    no_subthread_speedup: float
+    baseline_speedup: float
+    no_speculation_speedup: float
+    baseline_violations: int
+
+
+@dataclass
+class KVStudyResult:
+    points: List[KVPoint] = field(default_factory=list)
+
+    def point(self, theta: float) -> KVPoint:
+        for p in self.points:
+            if p.zipf_theta == theta:
+                return p
+        raise KeyError(theta)
+
+    def render(self) -> str:
+        return render_table(
+            ["zipf theta", "all-or-nothing", "sub-threads",
+             "no-speculation", "violations"],
+            [
+                [p.zipf_theta, p.no_subthread_speedup,
+                 p.baseline_speedup, p.no_speculation_speedup,
+                 p.baseline_violations]
+                for p in self.points
+            ],
+            title="E11 — TLS on a key-value store, skew sweep",
+        )
+
+
+def run_kv_study(
+    thetas: Sequence[float] = THETAS,
+    n_batches: int = 4,
+    seed: int = 42,
+    spec: Optional[KVSpec] = None,
+) -> KVStudyResult:
+    base_spec = spec or KVSpec()
+    result = KVStudyResult()
+    for theta in thetas:
+        spec_t = replace(base_spec, zipf_theta=theta)
+        seq = generate_kv_workload(
+            spec_t, tls_mode=False, n_batches=n_batches, seed=seed
+        ).trace
+        tls = generate_kv_workload(
+            spec_t, tls_mode=True, n_batches=n_batches, seed=seed
+        ).trace
+        seq_cycles = Machine(
+            MachineConfig.for_mode(ExecutionMode.SEQUENTIAL)
+        ).run(seq).total_cycles
+        nosub = Machine(
+            MachineConfig.for_mode(ExecutionMode.NO_SUBTHREAD)
+        ).run(tls)
+        base = Machine(
+            MachineConfig.for_mode(ExecutionMode.BASELINE)
+        ).run(tls)
+        nospec = Machine(
+            MachineConfig.for_mode(ExecutionMode.NO_SPECULATION)
+        ).run(tls)
+        result.points.append(
+            KVPoint(
+                zipf_theta=theta,
+                no_subthread_speedup=seq_cycles / nosub.total_cycles,
+                baseline_speedup=seq_cycles / base.total_cycles,
+                no_speculation_speedup=seq_cycles / nospec.total_cycles,
+                baseline_violations=base.primary_violations
+                + base.secondary_violations,
+            )
+        )
+    return result

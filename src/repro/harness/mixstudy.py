@@ -1,0 +1,113 @@
+"""Extension experiment E13: per-type latency in the TPC-C mix.
+
+The paper's introduction motivates intra-transaction parallelism with
+transaction *latency*: "some transactions are latency sensitive" and
+"reducing the latency of transactions which hold heavily contended locks
+allows the transactions to commit faster".  This study runs the standard
+TPC-C mix and reports, per transaction type, the mean latency under
+one-CPU execution (TLS-SEQ) vs. sub-thread TLS on 4 CPUs — who actually
+benefits when the realistic mix runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..sim import ExecutionMode, Machine, MachineConfig
+from ..tpcc import DISPLAY_NAMES, TPCCScale, generate_mix_workload
+from ..trace.events import WorkloadTrace
+from .report import render_table
+
+
+@dataclass
+class MixTypeLatency:
+    txn_type: str
+    count: int
+    mean_single_cpu: float
+    mean_tls: float
+
+    @property
+    def speedup(self) -> float:
+        if self.mean_tls == 0:
+            return float("inf")
+        return self.mean_single_cpu / self.mean_tls
+
+
+@dataclass
+class MixLatencyResult:
+    rows: List[MixTypeLatency] = field(default_factory=list)
+    #: Mix-wide mean latency under each configuration.
+    overall_single_cpu: float = 0.0
+    overall_tls: float = 0.0
+
+    def row(self, txn_type: str) -> MixTypeLatency:
+        for r in self.rows:
+            if r.txn_type == txn_type:
+                return r
+        raise KeyError(txn_type)
+
+    def overall_speedup(self) -> float:
+        if self.overall_tls == 0:
+            return float("inf")
+        return self.overall_single_cpu / self.overall_tls
+
+    def render(self) -> str:
+        table = render_table(
+            ["transaction", "count", "1-CPU latency", "TLS latency",
+             "speedup"],
+            [
+                [
+                    DISPLAY_NAMES.get(r.txn_type, r.txn_type),
+                    r.count,
+                    f"{r.mean_single_cpu:.0f}",
+                    f"{r.mean_tls:.0f}",
+                    r.speedup,
+                ]
+                for r in self.rows
+            ],
+            title="E13 — per-type latency in the standard TPC-C mix",
+        )
+        return (
+            f"{table}\n"
+            f"mix-wide mean latency speedup: "
+            f"{self.overall_speedup():.2f}x"
+        )
+
+
+def run_mix_latency(
+    n_transactions: int = 20,
+    seed: int = 42,
+    scale: Optional[TPCCScale] = None,
+) -> MixLatencyResult:
+    gw = generate_mix_workload(
+        n_transactions=n_transactions, seed=seed, scale=scale
+    )
+    per_type: Dict[str, List[List[float]]] = {}
+    total_single = total_tls = 0.0
+    for txn_trace, result in zip(gw.trace.transactions, gw.results):
+        one = WorkloadTrace(name="one", transactions=[txn_trace])
+        single = Machine(
+            MachineConfig.for_mode(ExecutionMode.TLS_SEQ)
+        ).run(one).total_cycles
+        tls = Machine(
+            MachineConfig.for_mode(ExecutionMode.BASELINE)
+        ).run(one).total_cycles
+        per_type.setdefault(result["_type"], []).append([single, tls])
+        total_single += single
+        total_tls += tls
+    out = MixLatencyResult(
+        overall_single_cpu=total_single / max(1, n_transactions),
+        overall_tls=total_tls / max(1, n_transactions),
+    )
+    for txn_type in sorted(per_type):
+        pairs = per_type[txn_type]
+        out.rows.append(
+            MixTypeLatency(
+                txn_type=txn_type,
+                count=len(pairs),
+                mean_single_cpu=sum(p[0] for p in pairs) / len(pairs),
+                mean_tls=sum(p[1] for p in pairs) / len(pairs),
+            )
+        )
+    return out

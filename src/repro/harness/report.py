@@ -1,0 +1,68 @@
+"""Plain-text table/series rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render rows as an aligned text table."""
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows))
+        if str_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_stacked_bars(
+    labels: Sequence[str],
+    stacks: Sequence[dict],
+    categories: Sequence[str],
+    scale: float = 40.0,
+    title: Optional[str] = None,
+) -> str:
+    """ASCII rendition of Figure-5-style stacked bars.
+
+    ``stacks[i][cat]`` is the (normalized) height contribution of
+    ``cat`` for bar ``i``; each category renders with a distinct fill
+    character, ``scale`` characters per unit height.
+    """
+    fills = {cat: "#=~%+o*"[i % 7] for i, cat in enumerate(categories)}
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    width = max(len(l) for l in labels) if labels else 0
+    for label, stack in zip(labels, stacks):
+        bar = "".join(
+            fills[cat] * int(round(stack.get(cat, 0.0) * scale))
+            for cat in categories
+        )
+        total = sum(stack.get(cat, 0.0) for cat in categories)
+        lines.append(f"{label.ljust(width)} |{bar} {total:.2f}")
+    legend = "  ".join(f"{fills[c]}={c}" for c in categories)
+    lines.append(f"{'legend'.ljust(width)}  {legend}")
+    return "\n".join(lines)

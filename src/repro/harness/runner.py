@@ -1,0 +1,64 @@
+"""Shared experiment plumbing: trace caching and mode execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..minidb import EngineOptions
+from ..sim import ExecutionMode, Machine, MachineConfig, SimulationStats
+from ..tpcc import GeneratedWorkload, TPCCScale, generate_workload
+from ..trace import WorkloadTrace
+
+
+@dataclass
+class ExperimentContext:
+    """Caches generated traces so sweeps don't regenerate them.
+
+    One trace per (benchmark, software mode) pair is enough: all hardware
+    configurations replay the same trace, exactly as the paper replays the
+    same binaries.
+    """
+
+    n_transactions: int = 4
+    seed: int = 42
+    scale: Optional[TPCCScale] = None
+    _cache: Dict[Tuple[str, bool], GeneratedWorkload] = field(
+        default_factory=dict
+    )
+
+    def workload(self, benchmark: str, tls_mode: bool) -> GeneratedWorkload:
+        key = (benchmark, tls_mode)
+        if key not in self._cache:
+            self._cache[key] = generate_workload(
+                benchmark,
+                tls_mode=tls_mode,
+                n_transactions=self.n_transactions,
+                seed=self.seed,
+                scale=self.scale,
+            )
+        return self._cache[key]
+
+    def trace(self, benchmark: str, tls_mode: bool) -> WorkloadTrace:
+        return self.workload(benchmark, tls_mode).trace
+
+
+def run_mode(
+    trace: WorkloadTrace,
+    mode: str,
+    base: Optional[MachineConfig] = None,
+) -> SimulationStats:
+    """Simulate a trace under one Figure 5 execution mode."""
+    config = MachineConfig.for_mode(mode, base=base)
+    return Machine(config).run(trace)
+
+
+def run_config(trace: WorkloadTrace, config: MachineConfig) -> SimulationStats:
+    return Machine(config).run(trace)
+
+
+def mode_trace(ctx: ExperimentContext, benchmark: str, mode: str
+               ) -> WorkloadTrace:
+    """The right software trace for a hardware mode (SEQUENTIAL uses the
+    unmodified program; every other mode uses the TLS-transformed one)."""
+    return ctx.trace(benchmark, tls_mode=(mode != ExecutionMode.SEQUENTIAL))

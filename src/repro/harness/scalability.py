@@ -1,0 +1,107 @@
+"""Extension experiment E9: CPU-count scalability.
+
+The paper evaluates a 4-CPU CMP and notes the scheme "could be extended
+beyond a chip".  The simulator parameterizes the CPU count directly, so
+this experiment sweeps 1/2/4/8 CPUs for a benchmark and reports the
+sub-thread TLS speedup curve (against the same 1-CPU sequential run),
+with the all-or-nothing curve for contrast.
+
+Expected shape: speedups flatten well before 8 CPUs — coverage (Amdahl),
+the serial commit token, and the dependence structure all cap the
+benefit, and each added CPU brings one more concurrently-speculating
+epoch to violate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from ..sim import ExecutionMode, Machine, MachineConfig
+from ..tpcc import generate_workload
+from .report import render_table
+from .runner import ExperimentContext
+
+CPU_COUNTS = (1, 2, 4, 8)
+
+
+@dataclass
+class ScalabilityPoint:
+    n_cpus: int
+    baseline_speedup: float
+    all_or_nothing_speedup: float
+    baseline_violations: int
+
+
+@dataclass
+class ScalabilityResult:
+    benchmark: str
+    points: List[ScalabilityPoint] = field(default_factory=list)
+
+    def point(self, n_cpus: int) -> ScalabilityPoint:
+        for p in self.points:
+            if p.n_cpus == n_cpus:
+                return p
+        raise KeyError(n_cpus)
+
+    def render(self) -> str:
+        return render_table(
+            ["CPUs", "sub-threads", "all-or-nothing", "violations"],
+            [
+                [p.n_cpus, p.baseline_speedup, p.all_or_nothing_speedup,
+                 p.baseline_violations]
+                for p in self.points
+            ],
+            title=f"E9 — CPU-count scalability ({self.benchmark})",
+        )
+
+
+def run_scalability(
+    ctx: Optional[ExperimentContext] = None,
+    benchmark: str = "new_order_150",
+    cpu_counts=CPU_COUNTS,
+) -> ScalabilityResult:
+    """Sweep the CMP width.  Traces are regenerated per width (the
+    thread-local arenas must match the worker-thread count)."""
+    ctx = ctx or ExperimentContext()
+    seq_gw = generate_workload(
+        benchmark,
+        tls_mode=False,
+        n_transactions=ctx.n_transactions,
+        seed=ctx.seed,
+        scale=ctx.scale,
+        n_cpus=1,
+    )
+    seq_config = replace(
+        MachineConfig.for_mode(ExecutionMode.SEQUENTIAL), n_cpus=1
+    )
+    seq_cycles = Machine(seq_config).run(seq_gw.trace).total_cycles
+    result = ScalabilityResult(benchmark=benchmark)
+    for n_cpus in cpu_counts:
+        gw = generate_workload(
+            benchmark,
+            tls_mode=True,
+            n_transactions=ctx.n_transactions,
+            seed=ctx.seed,
+            scale=ctx.scale,
+            n_cpus=n_cpus,
+        )
+        base = Machine(
+            replace(MachineConfig(), n_cpus=n_cpus)
+        ).run(gw.trace)
+        nosub = Machine(
+            replace(
+                MachineConfig.for_mode(ExecutionMode.NO_SUBTHREAD),
+                n_cpus=n_cpus,
+            )
+        ).run(gw.trace)
+        result.points.append(
+            ScalabilityPoint(
+                n_cpus=n_cpus,
+                baseline_speedup=seq_cycles / base.total_cycles,
+                all_or_nothing_speedup=seq_cycles / nosub.total_cycles,
+                baseline_violations=base.primary_violations
+                + base.secondary_violations,
+            )
+        )
+    return result

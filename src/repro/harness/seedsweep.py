@@ -1,0 +1,92 @@
+"""Seed-sweep statistics: confidence in the reported speedups.
+
+The paper runs fixed-seed experiments ("each experiment uses the same
+seed for repeatability").  A reproduction should also show how sensitive
+its headline numbers are to the workload draw, so this driver re-runs a
+benchmark across several seeds and reports mean / stdev / min / max of
+the per-mode speedups.  Within-seed comparisons are paired (same trace
+for every hardware mode), exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..sim import ExecutionMode, Machine, MachineConfig
+from ..tpcc import TPCCScale, generate_workload
+from .report import render_table
+
+DEFAULT_SEEDS = (11, 23, 42, 59, 71)
+
+MODES = (
+    ExecutionMode.NO_SUBTHREAD,
+    ExecutionMode.BASELINE,
+    ExecutionMode.NO_SPECULATION,
+)
+
+
+@dataclass
+class SeedSweepResult:
+    benchmark: str
+    seeds: Sequence[int]
+    #: mode -> list of per-seed speedups (aligned with ``seeds``).
+    speedups: Dict[str, List[float]] = field(default_factory=dict)
+
+    def mean(self, mode: str) -> float:
+        return statistics.fmean(self.speedups[mode])
+
+    def stdev(self, mode: str) -> float:
+        values = self.speedups[mode]
+        return statistics.stdev(values) if len(values) > 1 else 0.0
+
+    def spread(self, mode: str):
+        values = self.speedups[mode]
+        return min(values), max(values)
+
+    def render(self) -> str:
+        rows = []
+        for mode in self.speedups:
+            lo, hi = self.spread(mode)
+            rows.append(
+                [mode, self.mean(mode), self.stdev(mode), lo, hi]
+            )
+        return render_table(
+            ["mode", "mean speedup", "stdev", "min", "max"],
+            rows,
+            title=(
+                f"Seed sweep — {self.benchmark} over "
+                f"{len(self.seeds)} seeds"
+            ),
+        )
+
+
+def run_seed_sweep(
+    benchmark: str = "new_order",
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    n_transactions: int = 3,
+    scale: Optional[TPCCScale] = None,
+    modes: Sequence[str] = MODES,
+) -> SeedSweepResult:
+    result = SeedSweepResult(benchmark=benchmark, seeds=tuple(seeds))
+    for mode in modes:
+        result.speedups[mode] = []
+    for seed in seeds:
+        seq = generate_workload(
+            benchmark, tls_mode=False, n_transactions=n_transactions,
+            seed=seed, scale=scale,
+        ).trace
+        tls = generate_workload(
+            benchmark, tls_mode=True, n_transactions=n_transactions,
+            seed=seed, scale=scale,
+        ).trace
+        seq_cycles = Machine(
+            MachineConfig.for_mode(ExecutionMode.SEQUENTIAL)
+        ).run(seq).total_cycles
+        for mode in modes:
+            stats = Machine(MachineConfig.for_mode(mode)).run(tls)
+            result.speedups[mode].append(
+                seq_cycles / stats.total_cycles
+            )
+    return result

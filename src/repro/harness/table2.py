@@ -1,0 +1,102 @@
+"""Experiment E4 — Table 2: benchmark statistics.
+
+For every benchmark: sequential execution time (cycles), coverage (the
+fraction of dynamic instructions inside the parallelized regions),
+average thread size (dynamic instructions per epoch), speculative
+instructions per thread (instructions executed while the epoch was
+actually speculative, measured on the 4-CPU baseline), and epochs per
+transaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..sim import ExecutionMode
+from ..tpcc import BENCHMARKS, DISPLAY_NAMES
+from .report import render_table
+from .runner import ExperimentContext, mode_trace, run_mode
+
+
+@dataclass
+class Table2Row:
+    benchmark: str
+    exec_cycles: float
+    coverage: float
+    avg_thread_size: float
+    spec_insts_per_thread: float
+    threads_per_transaction: float
+
+
+@dataclass
+class Table2Result:
+    rows: List[Table2Row] = field(default_factory=list)
+
+    def row(self, benchmark: str) -> Table2Row:
+        for r in self.rows:
+            if r.benchmark == benchmark:
+                return r
+        raise KeyError(benchmark)
+
+    def render(self) -> str:
+        return render_table(
+            [
+                "Benchmark",
+                "Exec. Time (cycles)",
+                "Coverage",
+                "Thread Size (dyn. instrs)",
+                "Spec. Insts / Thread",
+                "Threads / Txn",
+            ],
+            [
+                [
+                    DISPLAY_NAMES[r.benchmark],
+                    f"{r.exec_cycles:.0f}",
+                    f"{r.coverage:.0%}",
+                    f"{r.avg_thread_size:.0f}",
+                    f"{r.spec_insts_per_thread:.0f}",
+                    f"{r.threads_per_transaction:.1f}",
+                ]
+                for r in self.rows
+            ],
+            title="Table 2 — Benchmark statistics",
+        )
+
+
+def run_table2(ctx: Optional[ExperimentContext] = None) -> Table2Result:
+    ctx = ctx or ExperimentContext()
+    result = Table2Result()
+    for benchmark in BENCHMARKS:
+        seq_stats = run_mode(
+            mode_trace(ctx, benchmark, ExecutionMode.SEQUENTIAL),
+            ExecutionMode.SEQUENTIAL,
+        )
+        tls = ctx.trace(benchmark, tls_mode=True)
+        epochs = [e for t in tls.transactions for e in t.epochs()]
+        n_epochs = max(1, len(epochs))
+        # Speculative instructions per thread: every epoch instruction
+        # except the homefree head's.  With a 4-wide window, roughly all
+        # but the oldest epoch's instructions are speculative; we measure
+        # it directly as thread size minus the portion executed homefree
+        # on the 4-CPU baseline (approximated by the trace: epochs that
+        # are first in their region start non-speculative).
+        spec_instrs = 0
+        for t in tls.transactions:
+            for seg in t.segments:
+                if not hasattr(seg, "epochs"):
+                    continue
+                for i, e in enumerate(seg.epochs):
+                    if i > 0:
+                        spec_instrs += e.instruction_count
+        result.rows.append(
+            Table2Row(
+                benchmark=benchmark,
+                exec_cycles=seq_stats.total_cycles,
+                coverage=tls.coverage,
+                avg_thread_size=tls.average_epoch_size(),
+                spec_insts_per_thread=spec_instrs / n_epochs,
+                threads_per_transaction=tls.epochs_per_transaction(),
+            )
+        )
+    return result

@@ -1,0 +1,17 @@
+"""Key-value (YCSB-style) workload — TLS beyond TPC-C (paper §1.3)."""
+
+from .workload import (
+    GeneratedKVWorkload,
+    KVSpec,
+    ZipfSampler,
+    generate_kv_workload,
+    ycsb_preset,
+)
+
+__all__ = [
+    "GeneratedKVWorkload",
+    "KVSpec",
+    "ZipfSampler",
+    "generate_kv_workload",
+    "ycsb_preset",
+]

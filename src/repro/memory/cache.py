@@ -1,0 +1,176 @@
+"""Generic set-associative cache bookkeeping.
+
+This is pure bookkeeping (tags, sets, LRU) shared by the L1 caches; the
+speculative L2 (``repro.memory.l2``) has richer per-entry metadata and its
+own implementation, but reuses the geometry helpers here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+def _is_pow2(x: int) -> bool:
+    return x > 0 and (x & (x - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Size/associativity/line-size geometry with address slicing helpers."""
+
+    size_bytes: int
+    assoc: int
+    line_size: int
+
+    def __post_init__(self):
+        if not _is_pow2(self.line_size):
+            raise ValueError("line_size must be a power of two")
+        if self.size_bytes % (self.assoc * self.line_size) != 0:
+            raise ValueError(
+                "size must be a multiple of assoc * line_size "
+                f"(got {self.size_bytes}, {self.assoc}, {self.line_size})"
+            )
+        n_sets = self.size_bytes // (self.assoc * self.line_size)
+        if not _is_pow2(n_sets):
+            raise ValueError("number of sets must be a power of two")
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.assoc * self.line_size)
+
+    def line_addr(self, addr: int) -> int:
+        """Line-aligned address (the unit of coherence/tracking)."""
+        return addr & ~(self.line_size - 1)
+
+    def set_index(self, addr: int) -> int:
+        return (addr // self.line_size) % self.n_sets
+
+    def tag(self, addr: int) -> int:
+        """Full line address doubles as the tag (sets are derived from it)."""
+        return self.line_addr(addr)
+
+    def lines_touched(self, addr: int, size: int) -> Iterable[int]:
+        """Line addresses spanned by an access of ``size`` bytes."""
+        first = self.line_addr(addr)
+        last = self.line_addr(addr + max(size, 1) - 1)
+        line = first
+        while line <= last:
+            yield line
+            line += self.line_size
+
+
+class LRUSet:
+    """One cache set with true-LRU replacement.
+
+    Entries are arbitrary objects keyed by tag; most-recently-used order is
+    maintained by list position (index 0 = LRU, last = MRU).
+    """
+
+    __slots__ = ("assoc", "_order", "_by_tag")
+
+    def __init__(self, assoc: int):
+        self.assoc = assoc
+        self._order: List[int] = []  # tags, LRU first
+        self._by_tag: Dict[int, object] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_tag)
+
+    def __contains__(self, tag: int) -> bool:
+        return tag in self._by_tag
+
+    def get(self, tag: int, touch: bool = True):
+        """Return the entry for ``tag`` (None if absent), updating LRU."""
+        entry = self._by_tag.get(tag)
+        if entry is not None and touch:
+            self._order.remove(tag)
+            self._order.append(tag)
+        return entry
+
+    def peek(self, tag: int):
+        return self._by_tag.get(tag)
+
+    def entries(self) -> List[object]:
+        return list(self._by_tag.values())
+
+    def tags(self) -> List[int]:
+        return list(self._order)
+
+    def put(self, tag: int, entry: object) -> None:
+        """Insert/replace ``tag`` as MRU.  Caller must have made room."""
+        if tag in self._by_tag:
+            self._order.remove(tag)
+        elif len(self._by_tag) >= self.assoc:
+            raise RuntimeError("set full; evict first")
+        self._by_tag[tag] = entry
+        self._order.append(tag)
+
+    def remove(self, tag: int):
+        """Remove and return the entry for ``tag`` (None if absent)."""
+        entry = self._by_tag.pop(tag, None)
+        if entry is not None:
+            self._order.remove(tag)
+        return entry
+
+    def victim_tag(self, protect=None) -> Optional[int]:
+        """LRU tag to evict, skipping tags for which ``protect`` is true.
+
+        Returns None if every entry is protected.
+        """
+        for tag in self._order:
+            if protect is None or not protect(self._by_tag[tag]):
+                return tag
+        return None
+
+    def is_full(self) -> bool:
+        return len(self._by_tag) >= self.assoc
+
+
+class SimpleCache:
+    """A plain set-associative cache of tags (no payload metadata).
+
+    Used for structures that only need presence/LRU behaviour.  Returns
+    hit/miss and the evicted tag (if any) on fills.
+    """
+
+    def __init__(self, geometry: CacheGeometry):
+        self.geom = geometry
+        self._sets = [LRUSet(geometry.assoc) for _ in range(geometry.n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _set_for(self, addr: int) -> LRUSet:
+        return self._sets[self.geom.set_index(addr)]
+
+    def lookup(self, addr: int) -> bool:
+        """True if the line containing ``addr`` is present (touches LRU)."""
+        tag = self.geom.tag(addr)
+        hit = self._set_for(addr).get(tag) is not None
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return hit
+
+    def fill(self, addr: int) -> Optional[int]:
+        """Bring the line in; returns the evicted line address, if any."""
+        tag = self.geom.tag(addr)
+        cset = self._set_for(addr)
+        if tag in cset:
+            cset.get(tag)
+            return None
+        evicted = None
+        if cset.is_full():
+            evicted = cset.victim_tag()
+            cset.remove(evicted)
+        cset.put(tag, True)
+        return evicted
+
+    def invalidate(self, addr: int) -> bool:
+        tag = self.geom.tag(addr)
+        return self._set_for(addr).remove(tag) is not None
+
+    def contains(self, addr: int) -> bool:
+        tag = self.geom.tag(addr)
+        return self._set_for(addr).peek(tag) is not None

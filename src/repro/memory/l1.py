@@ -1,0 +1,157 @@
+"""Private write-through L1 data cache with speculative-line tracking.
+
+Per the paper (Section 2.1), the L1 caches are write-through so stores
+propagate aggressively to the shared L2 where logically-later threads can
+consume them; the L1s are *unaware of sub-threads*.  Each L1 line carries:
+
+``spec``
+    The line was speculatively accessed by the epoch currently running on
+    this CPU.  On any violation delivered to this CPU, every ``spec`` line
+    is flash-invalidated and must be refetched from L2 (the paper found
+    per-sub-thread L1 tracking "not worthwhile").
+
+``notified``
+    The L2 has already been told about a speculative load of this line by
+    the current epoch (so its per-context speculative-load bit is set).
+    Later loads of the line by the same epoch can then hit purely in L1
+    without informing the L2 — exact, not just conservative, because
+    violations rewind to the *earliest* sub-thread that loaded the line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .cache import CacheGeometry, LRUSet
+
+
+@dataclass
+class L1Line:
+    tag: int
+    spec: bool = False
+    notified: bool = False
+    #: Highest sub-thread index that speculatively touched the line
+    #: (-1 = none).  Only used when the optional per-sub-thread L1
+    #: tracking is enabled; the paper's design leaves the L1s
+    #: sub-thread-unaware and found the extension "not worthwhile".
+    subidx: int = -1
+
+
+class L1Cache:
+    """One CPU's private write-through L1 data cache."""
+
+    def __init__(self, geometry: CacheGeometry):
+        self.geom = geometry
+        self._sets = [LRUSet(geometry.assoc) for _ in range(geometry.n_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.spec_invalidations = 0
+
+    # ------------------------------------------------------------------
+    # Access path
+    # ------------------------------------------------------------------
+
+    def _set_for(self, line_addr: int) -> LRUSet:
+        return self._sets[self.geom.set_index(line_addr)]
+
+    def lookup(self, line_addr: int, touch: bool = True) -> Optional[L1Line]:
+        return self._set_for(line_addr).get(line_addr, touch=touch)
+
+    def access(self, line_addr: int) -> bool:
+        """Reference the line; returns True on hit (updates LRU/stats)."""
+        line = self.lookup(line_addr)
+        if line is not None:
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, line_addr: int, spec: bool,
+             subidx: int = -1) -> Optional[L1Line]:
+        """Install a line fetched from L2.
+
+        Returns the evicted line (if any).  Write-through means an evicted
+        line is never dirty with respect to L2, so eviction needs no
+        writeback; speculative L1 lines can be silently dropped because the
+        L2 keeps inclusion for all speculative state.
+        """
+        cset = self._set_for(line_addr)
+        existing = cset.get(line_addr)
+        if existing is not None:
+            existing.spec = existing.spec or spec
+            if spec:
+                existing.subidx = max(existing.subidx, subidx)
+            return None
+        evicted = None
+        if cset.is_full():
+            victim_tag = cset.victim_tag()
+            evicted = cset.remove(victim_tag)
+        line = L1Line(tag=line_addr, spec=spec,
+                      subidx=subidx if spec else -1)
+        cset.put(line_addr, line)
+        return evicted
+
+    def mark_spec(self, line_addr: int, notified: bool,
+                  subidx: int = -1) -> None:
+        line = self.lookup(line_addr, touch=False)
+        if line is not None:
+            line.spec = True
+            line.subidx = max(line.subidx, subidx)
+            if notified:
+                line.notified = True
+
+    def is_notified(self, line_addr: int) -> bool:
+        line = self.lookup(line_addr, touch=False)
+        return line is not None and line.notified
+
+    # ------------------------------------------------------------------
+    # Invalidation (violations, epoch boundaries, L2 inclusion)
+    # ------------------------------------------------------------------
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Invalidate one line (L2 eviction inclusion, external store)."""
+        return self._set_for(line_addr).remove(line_addr) is not None
+
+    def flash_invalidate_spec(self, from_subidx: int = None) -> int:
+        """Drop speculatively-accessed lines (violation recovery).
+
+        With the paper's sub-thread-unaware L1s (``from_subidx=None``)
+        every speculative line goes; with the optional per-sub-thread
+        tracking only lines touched by sub-threads at or after the rewind
+        point are dropped.  Returns the number of lines invalidated; the
+        subsequent refetches from L2 are the recovery cost.
+        """
+        count = 0
+        for cset in self._sets:
+            for tag in list(cset.tags()):
+                line = cset.peek(tag)
+                if line is None or not line.spec:
+                    continue
+                if from_subidx is not None and line.subidx < from_subidx:
+                    continue
+                cset.remove(tag)
+                count += 1
+        self.spec_invalidations += count
+        return count
+
+    def clear_spec_marks(self) -> None:
+        """New epoch begins: lines stay cached but lose speculative marks."""
+        for cset in self._sets:
+            for entry in cset.entries():
+                entry.spec = False
+                entry.notified = False
+                entry.subidx = -1
+
+    # ------------------------------------------------------------------
+    # Introspection (tests)
+    # ------------------------------------------------------------------
+
+    def resident_lines(self) -> List[L1Line]:
+        out: List[L1Line] = []
+        for cset in self._sets:
+            out.extend(cset.entries())
+        return out
+
+    def spec_lines(self) -> List[L1Line]:
+        return [l for l in self.resident_lines() if l.spec]

@@ -1,0 +1,75 @@
+"""Speculative victim cache (Section 2.1, footnote 1).
+
+A small fully-associative buffer attached to the L2 that catches
+speculative cache lines evicted from the regular L2 sets by conflict
+misses.  The paper sizes it at 64 entries — "large enough to avoid
+stalling threads due to cache overflows for our worst case" (DELIVERY
+OUTER with a 4-way 2MB L2 and 8 sub-threads per thread).
+
+Entries are the same :class:`~repro.memory.l2.L2Entry` objects the L2
+uses, so commit/squash operations apply uniformly to both structures.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class VictimCache:
+    """Fully-associative FIFO-with-touch (LRU) victim buffer."""
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self._entries: List[object] = []  # LRU first, MRU last
+        self.inserts = 0
+        self.overflows = 0
+        self.hits = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[object]:
+        return list(self._entries)
+
+    def contains(self, entry: object) -> bool:
+        return any(e is entry for e in self._entries)
+
+    def versions_of(self, tag: int) -> List[object]:
+        return [e for e in self._entries if e.tag == tag]
+
+    def touch(self, entry: object) -> None:
+        """Mark the entry most-recently-used."""
+        for i, e in enumerate(self._entries):
+            if e is entry:
+                self._entries.pop(i)
+                self._entries.append(entry)
+                self.hits += 1
+                return
+        raise KeyError("entry not in victim cache")
+
+    def insert(self, entry: object) -> Optional[object]:
+        """Add an evicted speculative line.
+
+        Returns the entry that overflowed out of the victim cache (LRU) if
+        capacity was exceeded, else None.  A zero-capacity victim cache
+        (ablation) overflows the incoming entry itself.
+        """
+        self.inserts += 1
+        if self.capacity == 0:
+            self.overflows += 1
+            return entry
+        overflowed = None
+        if len(self._entries) >= self.capacity:
+            overflowed = self._entries.pop(0)
+            self.overflows += 1
+        self._entries.append(entry)
+        return overflowed
+
+    def remove(self, entry: object) -> None:
+        for i, e in enumerate(self._entries):
+            if e is entry:
+                self._entries.pop(i)
+                return
+        raise KeyError("entry not in victim cache")

@@ -1,0 +1,161 @@
+"""B+-tree cursors: positional iteration, BerkeleyDB-style.
+
+BerkeleyDB's primary access API is the cursor (`DBC->get` with
+DB_SET_RANGE / DB_NEXT / DB_PREV); minidb's equivalent supports seeking
+to a key, bidirectional stepping along the leaf chain, and reading the
+current entry.  All movement is instrumented like the scan path.
+
+Cursors are *unstable under mutation*: as with BerkeleyDB cursors
+without transactional isolation, inserting or deleting while a cursor is
+open may shift its position; `seek` re-anchors it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from .errors import MiniDBError
+
+
+class Cursor:
+    """A position within one B+-tree."""
+
+    def __init__(self, tree):
+        self.tree = tree
+        self._page = None   # current leaf Page (pinned while positioned)
+        self._slot = -1
+        self.moves = 0
+
+    # ------------------------------------------------------------------
+    # Positioning
+    # ------------------------------------------------------------------
+
+    def seek(self, key) -> bool:
+        """Position at the first entry >= ``key`` (DB_SET_RANGE).
+
+        Returns True if such an entry exists.
+        """
+        self.close()
+        rec = self.tree.recorder
+        rec.compute(rec.costs.btree_call)
+        path = self.tree._descend(key, f"{self.tree.name}.cursor.seek")
+        leaf = path[-1]
+        for page in path[:-1]:
+            self.tree.pool.unpin(page.page_id)
+        slot = self.tree._search_page(
+            leaf, key, f"{self.tree.name}.cursor.leaf"
+        )
+        self._page, self._slot = leaf, slot
+        if slot >= len(leaf.keys):
+            return self._advance_leaf()
+        return True
+
+    def first(self) -> bool:
+        """Position at the smallest entry."""
+        return self.seek(_MINIMUM)
+
+    def next(self) -> bool:
+        """Step forward (DB_NEXT); False when past the end."""
+        self._require_position()
+        self.moves += 1
+        self._slot += 1
+        if self._slot < len(self._page.keys):
+            self._touch_cell()
+            return True
+        return self._advance_leaf()
+
+    def prev(self) -> bool:
+        """Step backward (DB_PREV); False when before the start."""
+        self._require_position()
+        self.moves += 1
+        self._slot -= 1
+        if self._slot >= 0:
+            self._touch_cell()
+            return True
+        prev_id = self._page.prev_leaf
+        self.tree.pool.unpin(self._page.page_id)
+        self._page = None
+        while prev_id is not None:
+            leaf = self.tree._fetch(prev_id)
+            if leaf.keys:
+                self._page = leaf
+                self._slot = len(leaf.keys) - 1
+                self._touch_cell()
+                return True
+            prev_id = leaf.prev_leaf
+            self.tree.pool.unpin(leaf.page_id)
+        self._slot = -1
+        return False
+
+    def _advance_leaf(self) -> bool:
+        """Move to the first entry of the next non-empty leaf."""
+        next_id = self._page.next_leaf
+        self.tree.pool.unpin(self._page.page_id)
+        self._page = None
+        while next_id is not None:
+            leaf = self.tree._fetch(next_id)
+            if leaf.keys:
+                self._page = leaf
+                self._slot = 0
+                self._touch_cell()
+                return True
+            next_id = leaf.next_leaf
+            self.tree.pool.unpin(leaf.page_id)
+        self._slot = -1
+        return False
+
+    def _touch_cell(self) -> None:
+        rec = self.tree.recorder
+        rec.load(
+            self.tree._cell_addr(self._page, self._slot),
+            self.tree.entry_size,
+            f"{self.tree.name}.cursor.cell",
+        )
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    @property
+    def valid(self) -> bool:
+        return self._page is not None and (
+            0 <= self._slot < len(self._page.keys)
+        )
+
+    def _require_position(self) -> None:
+        if self._page is None:
+            raise MiniDBError("cursor is not positioned; call seek/first")
+
+    def current(self) -> Tuple[Any, Any]:
+        """The (key, value) under the cursor."""
+        self._require_position()
+        if not self.valid:
+            raise MiniDBError("cursor is past the end of the tree")
+        return self._page.keys[self._slot], self._page.values[self._slot]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._page is not None:
+            self.tree.pool.unpin(self._page.page_id)
+            self._page = None
+        self._slot = -1
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class _Min:
+    def __lt__(self, other):
+        return True
+
+    def __gt__(self, other):
+        return False
+
+
+_MINIMUM = _Min()

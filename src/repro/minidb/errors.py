@@ -1,0 +1,27 @@
+"""Exception types for the minidb storage engine."""
+
+from __future__ import annotations
+
+
+class MiniDBError(Exception):
+    """Base class for storage-engine errors."""
+
+
+class KeyNotFound(MiniDBError):
+    """Lookup of a key that does not exist."""
+
+
+class DuplicateKey(MiniDBError):
+    """Insert of a key that already exists in a unique index."""
+
+
+class TableNotFound(MiniDBError):
+    """Reference to a table that was never created."""
+
+
+class TransactionError(MiniDBError):
+    """Misuse of the transaction API (e.g. operating after commit)."""
+
+
+class DeadlockError(MiniDBError):
+    """The lock manager chose this transaction as a deadlock victim."""

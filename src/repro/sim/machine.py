@@ -1,0 +1,743 @@
+"""The simulated chip-multiprocessor.
+
+``Machine`` replays a :class:`~repro.trace.events.WorkloadTrace` on a CMP
+of ``n_cpus`` cores with private write-through L1s and a shared
+speculative L2, under the TLS protocol implemented by
+:class:`~repro.core.engine.TLSEngine`.
+
+The simulation is discrete-event: a global heap orders per-CPU "next
+record" events by cycle, so every memory reference, latch operation, and
+violation is processed in global time order.  COMPUTE batches advance a
+CPU's clock many cycles at once without interacting with other CPUs.
+
+Scheduling model: a parallel region's epochs are assigned to CPUs in
+logical order, round-robin; a CPU picks up the next unstarted epoch only
+after its current epoch commits (its L1 and its hardware thread contexts
+hold that epoch's state until then).  Serial segments run on CPU 0 while
+the other CPUs idle.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from ..core.accounting import Category, CycleCounters
+from ..core.engine import RewindAction, TLSEngine
+from ..core.epoch import EpochExecution, EpochStatus
+from ..core.latches import LatchTable
+from ..cpu.pipeline import CorePipeline
+from ..memory.l1 import L1Cache
+from ..memory.l2 import SpeculativeL2
+from ..memory.timing import MemorySystemTiming
+from ..trace.events import (
+    EpochTrace,
+    ParallelRegion,
+    Rec,
+    SerialSegment,
+    WorkloadTrace,
+)
+from .config import MachineConfig
+from .stats import SimulationStats
+from .timeline import (
+    COMMIT,
+    EPOCH_START,
+    FINISH,
+    STALL_BEGIN,
+    STALL_END,
+    SUBTHREAD_START,
+    VIOLATION,
+    TimelineEvent,
+)
+
+
+class _CPU:
+    """Per-core simulation state."""
+
+    __slots__ = (
+        "index",
+        "pipeline",
+        "l1",
+        "epoch",
+        "event_version",
+        "blocked_latch",
+        "block_start",
+        "sync_line",
+        "sync_skip",
+        "totals",
+        "outstanding",
+        "retired_at_oldest_miss",
+    )
+
+    def __init__(self, index: int, config: MachineConfig):
+        self.index = index
+        self.pipeline = CorePipeline(config.pipeline)
+        self.l1 = L1Cache(config.l1_geometry())
+        self.epoch: Optional[EpochExecution] = None
+        self.event_version = 0
+        self.blocked_latch: Optional[int] = None
+        self.block_start = 0.0
+        #: Line this CPU's load is synchronizing on (predicted-violating
+        #: load policy), or None.
+        self.sync_line: Optional[int] = None
+        #: Skip the synchronization check once (set when woken).
+        self.sync_skip = False
+        self.totals = CycleCounters()
+        #: Outstanding load-miss completion times (overlap_loads mode),
+        #: oldest first, paired with the retired-instruction count when
+        #: each miss was issued.
+        self.outstanding: List[Tuple[float, int]] = []
+        self.retired_at_oldest_miss = 0
+
+
+class Machine:
+    """A simulated CMP executing one workload trace."""
+
+    def __init__(self, config: Optional[MachineConfig] = None,
+                 record_events: bool = False):
+        self.config = config or MachineConfig()
+        #: Timeline events (see repro.sim.timeline); empty unless
+        #: record_events is True — recording costs time and memory.
+        self.record_events = record_events
+        self.events: List[TimelineEvent] = []
+        self.l2 = SpeculativeL2(
+            geometry=self.config.l2_geometry(),
+            directory=None,  # bound to the engine below
+            victim_entries=self.config.victim_entries,
+            line_granularity_loads=self.config.tls.line_granularity_loads,
+        )
+        self.engine = TLSEngine(
+            l2=self.l2, n_cpus=self.config.n_cpus, config=self.config.tls
+        )
+        self.l2.directory = self.engine
+        self.msys = MemorySystemTiming(
+            l2_banks=self.config.l2_banks,
+            l2_bank_occupancy=self.config.l2_bank_occupancy,
+            line_size=self.config.line_size,
+            l2_latency=self.config.l2_latency,
+            memory_latency=self.config.memory_latency,
+            memory_gap=self.config.memory_gap,
+        )
+        self.latches = LatchTable()
+        self.cpus = [_CPU(i, self.config) for i in range(self.config.n_cpus)]
+        #: line address -> CPU indices whose predicted-violating load is
+        #: waiting for an earlier epoch's store to that line.
+        self._sync_waiters: Dict[int, List[int]] = {}
+        self.now = 0.0
+        self._heap: List[Tuple[float, int, int, int]] = []
+        self._seq = 0
+        self._epochs_total = 0
+        self._deadlock_breaks = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(self, workload: WorkloadTrace) -> SimulationStats:
+        """Replay the workload; returns the aggregated statistics."""
+        for txn in workload.transactions:
+            for segment in txn.segments:
+                if isinstance(segment, SerialSegment):
+                    pseudo = EpochTrace(epoch_id=-1, records=segment.records)
+                    self._run_region([pseudo])
+                elif isinstance(segment, ParallelRegion):
+                    self._run_region(segment.epochs)
+                else:
+                    raise TypeError(f"unknown segment {segment!r}")
+        return self._collect_stats()
+
+    # ------------------------------------------------------------------
+    # Region orchestration
+    # ------------------------------------------------------------------
+
+    def _region_width(self) -> int:
+        width = self.config.region_cpus or self.config.n_cpus
+        return max(1, min(width, self.config.n_cpus))
+
+    def _run_region(self, epoch_traces: List[EpochTrace]) -> None:
+        if not epoch_traces:
+            return
+        width = self._region_width()
+        self._pending = list(epoch_traces)
+        self._pending_idx = 0
+        self._region_remaining = len(epoch_traces)
+        start = self.now
+        spawn = self.config.tls.spawn_latency if width > 1 else 0
+        for i, cpu in enumerate(self.cpus[:width]):
+            if self._pending_idx >= len(self._pending):
+                break
+            # Fork chain: epoch k is spawned by its predecessor, so it
+            # begins k spawn latencies after the region opens.
+            self._start_next_epoch(cpu, start + i * spawn)
+        while self._region_remaining > 0:
+            if not self._heap:
+                self._break_deadlock()
+                continue
+            cycle, _seq, version, cpu_idx = heapq.heappop(self._heap)
+            cpu = self.cpus[cpu_idx]
+            if version != cpu.event_version:
+                continue  # superseded by a rewind/wake
+            self.now = max(self.now, cycle)
+            self._step_cpu(cpu, cycle)
+
+    def _start_next_epoch(self, cpu: _CPU, now: float) -> None:
+        trace = self._pending[self._pending_idx]
+        self._pending_idx += 1
+        speculative = self.config.speculation_enabled
+        epoch = self.engine.start_epoch(
+            trace, cpu.index, now, speculative=speculative
+        )
+        cpu.epoch = epoch
+        cpu.l1.clear_spec_marks()
+        self._epochs_total += 1
+        self._emit(now, EPOCH_START, epoch)
+        self._schedule(cpu, now)
+
+    def _emit(self, cycle: float, kind: str, epoch, detail: str = ""):
+        if self.record_events and epoch is not None:
+            self.events.append(
+                TimelineEvent(
+                    cycle=cycle,
+                    kind=kind,
+                    epoch_order=epoch.order,
+                    cpu=epoch.cpu,
+                    detail=detail,
+                )
+            )
+
+    def _schedule(self, cpu: _CPU, cycle: float) -> None:
+        cpu.event_version += 1
+        self._seq += 1
+        heapq.heappush(
+            self._heap, (cycle, self._seq, cpu.event_version, cpu.index)
+        )
+
+    # ------------------------------------------------------------------
+    # Per-record execution
+    # ------------------------------------------------------------------
+
+    def _step_cpu(self, cpu: _CPU, now: float) -> None:
+        epoch = cpu.epoch
+        if epoch is None or epoch.status != EpochStatus.RUNNING:
+            return
+        if epoch.done:
+            self._finish_epoch(cpu, epoch, now)
+            return
+        # Sub-thread start policy (between records).
+        if self.engine.maybe_start_subthread(epoch, now):
+            self._emit(now, SUBTHREAD_START, epoch)
+            cost = self.config.tls.subthread_start_cost
+            if cost:
+                epoch.accrue(Category.OVERHEAD, cost)
+                self._schedule(cpu, now + cost)
+                return
+        rec = epoch.trace.records[epoch.cursor]
+        kind = rec[0]
+        if kind == Rec.COMPUTE:
+            self._do_compute(cpu, epoch, rec[1], Category.BUSY, now)
+        elif kind == Rec.TLS_OVERHEAD:
+            self._do_compute(cpu, epoch, rec[1], Category.OVERHEAD, now)
+        elif kind == Rec.OP:
+            cycles = cpu.pipeline.op_cycles(rec[1], rec[2])
+            epoch.retire(rec[2])
+            epoch.accrue(Category.BUSY, cycles)
+            epoch.cursor += 1
+            self._schedule(cpu, now + cycles)
+        elif kind == Rec.BRANCH:
+            cycles = cpu.pipeline.branch_cycles(rec[1], rec[2])
+            epoch.retire(1)
+            epoch.accrue(Category.BUSY, cycles)
+            epoch.cursor += 1
+            self._schedule(cpu, now + cycles)
+        elif kind == Rec.LOAD:
+            self._do_load(cpu, epoch, rec, now)
+        elif kind == Rec.STORE:
+            self._do_store(cpu, epoch, rec, now)
+        elif kind == Rec.LATCH_ACQ:
+            self._do_latch_acquire(cpu, epoch, rec, now)
+        elif kind == Rec.LATCH_REL:
+            self._do_latch_release(cpu, epoch, rec, now)
+        else:
+            raise ValueError(f"unknown record kind {kind}")
+
+    def _mlp_stall(self, cpu: _CPU, epoch: EpochExecution,
+                   now: float) -> float:
+        """Overlap-mode bookkeeping: returns extra stall cycles.
+
+        Completed misses are retired from the MSHR list; if the reorder
+        window (rob_entries instructions) has fully retired past the
+        oldest outstanding miss, the CPU must wait for its data.
+        """
+        if not cpu.outstanding:
+            return 0.0
+        cpu.outstanding = [
+            (ready, issued) for ready, issued in cpu.outstanding
+            if ready > now
+        ]
+        if not cpu.outstanding:
+            return 0.0
+        oldest_ready, issued_at = cpu.outstanding[0]
+        window = self.config.pipeline.rob_entries
+        if cpu.pipeline.instructions_retired - issued_at >= window:
+            cpu.outstanding.pop(0)
+            return max(0.0, oldest_ready - now)
+        return 0.0
+
+    def _do_compute(self, cpu: _CPU, epoch: EpochExecution, count: int,
+                    category: str, now: float) -> None:
+        """Retire (part of) a COMPUTE batch.
+
+        Large batches are consumed in slices no longer than the distance
+        to the next sub-thread boundary, so checkpoints land at the
+        configured spacing even inside long straight-line code.
+        """
+        remaining = count - epoch.offset
+        chunk = remaining
+        if epoch.speculative:
+            # Keep speculative compute slices bounded: boundaries land
+            # exactly on the spacing schedule, and a violation arriving
+            # mid-slice mis-attributes at most one slice of cycles to
+            # Failed (even when the periodic policy is disabled).
+            spacing = self.engine.spacing_for(epoch)
+            chunk = min(chunk, spacing, self.config.tls.spec_slice_limit)
+            if len(epoch.subthreads) < self.config.tls.max_subthreads:
+                to_boundary = spacing - epoch.instrs_since_checkpoint
+                if 0 < to_boundary < chunk:
+                    chunk = to_boundary
+        cycles = cpu.pipeline.compute_cycles(chunk)
+        mlp_stall = (
+            self._mlp_stall(cpu, epoch, now)
+            if self.config.overlap_loads else 0.0
+        )
+        epoch.retire(chunk)
+        epoch.accrue(category, cycles)
+        if mlp_stall:
+            epoch.accrue(Category.MISS, mlp_stall)
+            cycles += mlp_stall
+        if epoch.offset + chunk >= count:
+            epoch.cursor += 1
+            epoch.offset = 0
+        else:
+            epoch.offset += chunk
+        self._schedule(cpu, now + cycles)
+
+    # ------------------------------------------------------------------
+    # Memory references
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _sub_access(addr: int, size: int, line: int, line_size: int):
+        """Clip an access to the part falling within one cache line."""
+        sub_addr = max(addr, line)
+        sub_end = min(addr + max(size, 1), line + line_size)
+        return sub_addr, max(1, sub_end - sub_addr)
+
+    def _do_load(self, cpu: _CPU, epoch: EpochExecution, rec, now: float):
+        _, addr, size, pc = rec
+        geom = self.l2.geom
+        if cpu.sync_skip:
+            cpu.sync_skip = False
+        else:
+            # Section 5.1 policy: checkpoint right before a predicted-
+            # violating load (zero-cost by default; a nonzero cost delays
+            # the load by one event).
+            if self.engine.maybe_start_predictor_subthread(epoch, pc, now):
+                self._emit(now, SUBTHREAD_START, epoch, detail="predictor")
+                cost = self.config.tls.subthread_start_cost
+                if cost:
+                    epoch.accrue(Category.OVERHEAD, cost)
+                    self._schedule(cpu, now + cost)
+                    return
+            # Moshovos-style policy: synchronize instead of speculating.
+            if self.engine.should_synchronize_load(epoch, pc):
+                line = geom.line_addr(addr)
+                cpu.sync_line = line
+                cpu.block_start = now
+                self._emit(now, STALL_BEGIN, epoch, detail="sync")
+                cpu.event_version += 1
+                self._sync_waiters.setdefault(line, []).append(cpu.index)
+                return
+        epoch.retire(1)
+        stall = 0.0
+        for line in geom.lines_touched(addr, size):
+            sub_addr, sub_size = self._sub_access(
+                addr, size, line, geom.line_size
+            )
+            l1_hit = cpu.l1.access(line)
+            if l1_hit:
+                if epoch.speculative and not cpu.l1.is_notified(line):
+                    mask = self.l2.word_mask(sub_addr, sub_size)
+                    if not epoch.covers_load(line, mask):
+                        # First exposed access to this line by this epoch:
+                        # notify the L2 so its speculative-load bit is set.
+                        # The notification is asynchronous (piggybacks on
+                        # the write-through traffic): it reserves a bank
+                        # slot but does not stall the CPU.
+                        _result, exposed = self.engine.load(
+                            epoch, sub_addr, sub_size, pc
+                        )
+                        self.msys.banks.reserve(line, now)
+                        if exposed:
+                            cpu.l1.mark_spec(
+                                line,
+                                notified=True,
+                                subidx=epoch.current_subthread.index,
+                            )
+                continue
+            result, exposed = self.engine.load(epoch, sub_addr, sub_size, pc)
+            if result.hit:
+                ready = self.msys.l2_access(line, now)
+            else:
+                ready = self.msys.memory_access(line, now)
+            extra = result.memory_accesses - (0 if result.hit else 1)
+            for _ in range(max(0, extra)):
+                self.msys.extra_memory_transfer(now)
+            self._apply_inclusion(result.invalidated_lines)
+            if self.config.overlap_loads:
+                # Non-blocking: the miss occupies an MSHR; the CPU stalls
+                # only when the MSHRs are exhausted (plus any ROB-window
+                # drain computed at retirement time).
+                if len(cpu.outstanding) >= self.config.mshr_entries:
+                    oldest_ready, _ = cpu.outstanding.pop(0)
+                    stall = max(stall, oldest_ready - now)
+                cpu.outstanding.append(
+                    (ready, cpu.pipeline.instructions_retired)
+                )
+            else:
+                stall = max(stall, ready - now)
+            subidx = (
+                epoch.current_subthread.index if epoch.speculative else -1
+            )
+            cpu.l1.fill(line, spec=epoch.speculative, subidx=subidx)
+            if epoch.speculative and exposed:
+                cpu.l1.mark_spec(line, notified=True, subidx=subidx)
+        epoch.accrue(Category.BUSY, 1)
+        if stall > 0:
+            epoch.accrue(Category.MISS, stall)
+        epoch.cursor += 1
+        self._schedule(cpu, now + 1 + stall)
+
+    def _do_store(self, cpu: _CPU, epoch: EpochExecution, rec, now: float):
+        _, addr, size, pc = rec
+        epoch.retire(1)
+        geom = self.l2.geom
+        self_rewound = False
+        for line in geom.lines_touched(addr, size):
+            sub_addr, sub_size = self._sub_access(
+                addr, size, line, geom.line_size
+            )
+            result, rewinds = self.engine.store(epoch, sub_addr, sub_size, pc)
+            # Write-through: the store reserves bandwidth but the CPU does
+            # not wait for it (store buffer).
+            self.msys.banks.reserve(line, now)
+            for _ in range(result.memory_accesses):
+                self.msys.extra_memory_transfer(now)
+            self._apply_inclusion(result.invalidated_lines)
+            # Write-invalidate coherence: drop stale copies in other L1s.
+            for other in self.cpus:
+                if other is not cpu:
+                    other.l1.invalidate(line)
+            cpu.l1.fill(
+                line,
+                spec=epoch.speculative,
+                subidx=(
+                    epoch.current_subthread.index
+                    if epoch.speculative else -1
+                ),
+            )
+            # Rewinds must be applied before waking synchronized loads:
+            # a victim that was sync-blocked has its wait cancelled (the
+            # blocked interval is covered by the wall-interval Failed
+            # charge) and must not also receive a stall accrual.
+            if rewinds:
+                self._apply_rewinds(rewinds, now)
+                self_rewound = self_rewound or any(
+                    r.epoch is epoch for r in rewinds
+                )
+            self._wake_sync_on_store(line, epoch.order, now)
+        if self_rewound:
+            # Our own state overflowed and we were squashed mid-record;
+            # the rewind already rescheduled us.
+            return
+        epoch.accrue(Category.BUSY, 1)
+        epoch.cursor += 1
+        self._schedule(cpu, now + 1)
+
+    def _apply_inclusion(self, lines: List[int]) -> None:
+        """L2 evictions invalidate any L1 copies (inclusion)."""
+        for line in lines:
+            for cpu in self.cpus:
+                cpu.l1.invalidate(line)
+
+    # ------------------------------------------------------------------
+    # Latches (escaped speculation)
+    # ------------------------------------------------------------------
+
+    def _do_latch_acquire(self, cpu, epoch, rec, now: float):
+        _, latch_id, _pc = rec
+        epoch.retire(1)
+        if self.latches.try_acquire(latch_id, epoch):
+            epoch.current_subthread.latches.append(latch_id)
+            epoch.accrue(Category.BUSY, 1)
+            epoch.cursor += 1
+            self._schedule(cpu, now + 1)
+        else:
+            # Block; woken by the holder's release (or a rewind).
+            cpu.blocked_latch = latch_id
+            cpu.block_start = now
+            self._emit(now, STALL_BEGIN, epoch, detail=f"latch {latch_id}")
+            cpu.event_version += 1  # invalidate any queued event
+
+    def _do_latch_release(self, cpu, epoch, rec, now: float):
+        _, latch_id = rec
+        epoch.retire(1)
+        granted = self.latches.release(latch_id, epoch)
+        if granted is not None:
+            self._grant_latch(granted, now)
+        epoch.accrue(Category.BUSY, 1)
+        epoch.cursor += 1
+        self._schedule(cpu, now + 1)
+
+    def _grant_latch(self, winner: EpochExecution, now: float) -> None:
+        """A blocked epoch was granted the latch it was waiting for."""
+        wcpu = self.cpus[winner.cpu]
+        if wcpu.epoch is not winner or wcpu.blocked_latch is None:
+            return
+        latch_id = wcpu.blocked_latch
+        if self.latches.holder_of(latch_id) is not winner:
+            return
+        stall = max(0.0, now - wcpu.block_start)
+        winner.accrue(Category.SYNC, stall)
+        winner.current_subthread.latches.append(latch_id)
+        winner.cursor += 1  # past its LATCH_ACQ record
+        wcpu.blocked_latch = None
+        self._emit(now, STALL_END, winner)
+        self._schedule(wcpu, now + 1)
+
+    # ------------------------------------------------------------------
+    # Load synchronization (predicted-violating loads)
+    # ------------------------------------------------------------------
+
+    def _wake_sync_on_store(self, line: int, store_order: int,
+                            now: float) -> None:
+        """An earlier epoch stored the line a synchronized load waits on."""
+        waiters = self._sync_waiters.get(line)
+        if not waiters:
+            return
+        for idx in list(waiters):
+            wcpu = self.cpus[idx]
+            if (
+                wcpu.sync_line == line
+                and wcpu.epoch is not None
+                and wcpu.epoch.order > store_order
+            ):
+                self._release_sync_waiter(wcpu, now)
+
+    def _wake_eligible_sync_waiters(self, now: float) -> None:
+        """Wake synchronized loads with no running earlier epoch left."""
+        for waiters in list(self._sync_waiters.values()):
+            for idx in list(waiters):
+                wcpu = self.cpus[idx]
+                epoch = wcpu.epoch
+                if epoch is None or wcpu.sync_line is None:
+                    waiters.remove(idx)
+                    continue
+                blocked_by = any(
+                    other.order < epoch.order
+                    and other.status == EpochStatus.RUNNING
+                    for other in self.engine.active.values()
+                )
+                if not blocked_by:
+                    self._release_sync_waiter(wcpu, now)
+
+    def _release_sync_waiter(self, wcpu: _CPU, now: float) -> None:
+        """Unblock a synchronized load: account the stall and resume."""
+        line = wcpu.sync_line
+        waiters = self._sync_waiters.get(line)
+        if waiters and wcpu.index in waiters:
+            waiters.remove(wcpu.index)
+        stall = max(0.0, now - wcpu.block_start)
+        if wcpu.epoch is not None:
+            wcpu.epoch.accrue(Category.SYNC, stall)
+            self._emit(now, STALL_END, wcpu.epoch)
+        wcpu.sync_line = None
+        wcpu.sync_skip = True
+        self._schedule(wcpu, now)
+
+    def _cancel_sync_wait(self, cpu: _CPU) -> None:
+        if cpu.sync_line is None:
+            return
+        waiters = self._sync_waiters.get(cpu.sync_line)
+        if waiters and cpu.index in waiters:
+            waiters.remove(cpu.index)
+        cpu.sync_line = None
+
+    # ------------------------------------------------------------------
+    # Violations
+    # ------------------------------------------------------------------
+
+    def _apply_rewinds(self, actions: List[RewindAction], now: float) -> None:
+        """Apply engine rewind decisions to CPU/timing state."""
+        for action in actions:
+            epoch = action.epoch
+            vcpu = self.cpus[epoch.cpu]
+            if vcpu.epoch is not epoch:
+                continue  # epoch already gone (should not happen)
+            # A victim blocked on a latch stops waiting and re-executes;
+            # the blocked interval is covered by the wall-interval Failed
+            # charge below.
+            if vcpu.blocked_latch is not None:
+                self.latches.cancel_wait(vcpu.blocked_latch, epoch)
+                vcpu.blocked_latch = None
+            # Likewise for a synchronized (predicted-violating) load.
+            if vcpu.sync_line is not None:
+                self._cancel_sync_wait(vcpu)
+            # Latches acquired by rewound code are released (compensation);
+            # waiters granted a latch as a result wake up now.
+            winners = self.latches.release_all(
+                action.latches_released, epoch
+            )
+            self._emit(
+                now, VIOLATION, epoch,
+                detail=(
+                    f"{'secondary' if action.secondary else 'primary'} "
+                    f"-> sub-thread {action.subthread_idx}"
+                ),
+            )
+            # Everything the rewound sub-threads did becomes Failed time.
+            # Attribution is by wall interval, not by the pending cycle
+            # counters: an in-flight record (e.g. a long load stall) has
+            # its full cost accrued at issue, so counters can overshoot
+            # the violation instant.  The interval [sub-thread start,
+            # now] is exact, and the per-epoch [failed_low, failed_high]
+            # watermark keeps repeated rewinds from double-charging.
+            start = epoch.last_rewound_start
+            restart = now + self.config.tls.violation_penalty
+            vcpu.totals.add(
+                Category.FAILED,
+                epoch.charge_failed_interval(start, restart),
+            )
+            vcpu.outstanding.clear()
+            # The L1 drops its speculative lines (Section 2.2) — all of
+            # them with the paper's sub-thread-unaware L1s, or only the
+            # rewound sub-threads' lines with the optional tracking.
+            if self.config.l1_subthread_tracking:
+                vcpu.l1.flash_invalidate_spec(
+                    from_subidx=action.subthread_idx
+                )
+            else:
+                vcpu.l1.flash_invalidate_spec()
+            # The re-started sub-thread begins (again) at the restart
+            # instant; future rewinds to it charge from here.
+            epoch.current_subthread.start_cycle = restart
+            self._schedule(vcpu, restart)
+            for winner in winners:
+                self._grant_latch(winner, now)
+
+    # ------------------------------------------------------------------
+    # Commit / completion
+    # ------------------------------------------------------------------
+
+    def _finish_epoch(self, cpu: _CPU, epoch: EpochExecution, now: float):
+        # Outstanding misses must drain before the epoch can finish.
+        if self.config.overlap_loads and cpu.outstanding:
+            last_ready = max(r for r, _ in cpu.outstanding)
+            cpu.outstanding.clear()
+            if last_ready > now:
+                epoch.accrue(Category.MISS, last_ready - now)
+                self._schedule(cpu, last_ready)
+                return
+        self._emit(now, FINISH, epoch)
+        self.engine.finish_epoch(epoch, now)
+        cpu.event_version += 1  # no more events until commit or violation
+        committed = self.engine.try_commit()
+        # An epoch finishing/committing may unblock synchronized loads
+        # that were waiting out earlier epochs.
+        self._wake_eligible_sync_waiters(now)
+        for done in committed:
+            self._emit(now, COMMIT, done)
+            dcpu = self.cpus[done.cpu]
+            dcpu.totals.merge(done.drain_pending())
+            dcpu.l1.clear_spec_marks()
+            dcpu.epoch = None
+            self._region_remaining -= 1
+            if self._pending_idx < len(self._pending):
+                width = self._region_width()
+                if done.cpu < width:
+                    spawn = (
+                        self.config.tls.spawn_latency if width > 1 else 0
+                    )
+                    self._start_next_epoch(dcpu, now + spawn)
+
+    # ------------------------------------------------------------------
+    # Deadlock safety net
+    # ------------------------------------------------------------------
+
+    def _break_deadlock(self) -> None:
+        """All CPUs are blocked (or idle) with the region unfinished.
+
+        The latch-ordering discipline in the trace generator should make
+        this unreachable; if it happens we violate a speculative latch
+        *holder* so the waiters can progress, keeping the simulation sound.
+        """
+        blocked_sync = [
+            cpu for cpu in self.cpus
+            if cpu.sync_line is not None and cpu.epoch is not None
+        ]
+        if blocked_sync:
+            # A synchronized load can always resume safely (proceeding is
+            # just ordinary speculation); release the logically-oldest.
+            target = min(blocked_sync, key=lambda c: c.epoch.order)
+            self._release_sync_waiter(target, self.now)
+            return
+        blocked = [
+            cpu for cpu in self.cpus
+            if cpu.blocked_latch is not None and cpu.epoch is not None
+        ]
+        if not blocked:
+            raise RuntimeError(
+                "region cannot progress: no events and no blocked CPUs"
+            )
+        for cpu in sorted(blocked, key=lambda c: c.epoch.order):
+            holder = self.latches.holder_of(cpu.blocked_latch)
+            if (
+                isinstance(holder, EpochExecution)
+                and holder.speculative
+                and holder.subthreads
+            ):
+                self._deadlock_breaks += 1
+                action = self.engine.force_rewind(holder, 0)
+                self._apply_rewinds([action], self.now)
+                return
+        raise RuntimeError("unbreakable latch deadlock among epochs")
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def _collect_stats(self) -> SimulationStats:
+        stats = SimulationStats(n_cpus=self.config.n_cpus)
+        stats.total_cycles = self.now
+        stats.per_cpu = [cpu.totals for cpu in self.cpus]
+        stats.primary_violations = self.engine.primary_violations
+        stats.secondary_violations = self.engine.secondary_violations
+        stats.secondary_rewinds_avoided = (
+            self.engine.secondary_rewinds_avoided
+        )
+        stats.subthreads_started = self.engine.subthreads_started
+        stats.epochs_committed = self.engine.epochs_committed
+        stats.l2_hits = self.l2.hits
+        stats.l2_misses = self.l2.misses
+        stats.l1_hits = sum(c.l1.hits for c in self.cpus)
+        stats.l1_misses = sum(c.l1.misses for c in self.cpus)
+        stats.victim_spills = self.l2.victim_spills
+        stats.overflow_squashes = self.l2.overflow_squashes
+        stats.branch_mispredictions = sum(
+            c.pipeline.predictor.mispredictions for c in self.cpus
+        )
+        stats.instructions_retired = sum(
+            c.pipeline.instructions_retired for c in self.cpus
+        )
+        stats.epochs_total = self._epochs_total
+        stats.finalize_idle()
+        return stats

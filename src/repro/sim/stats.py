@@ -1,0 +1,82 @@
+"""Simulation statistics: per-CPU cycle breakdowns and protocol counters.
+
+``SimulationStats`` is the result object a :class:`~repro.sim.machine.
+Machine` run produces.  Its cycle breakdown mirrors Figure 5: total
+execution cycles split into Busy / Cache miss / Synchronization (latch
+stall) / TLS overhead / Failed / Idle, summed over the CPUs so that a
+4-CPU run of *T* cycles accounts for *4T* CPU-cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..core.accounting import Category, CycleCounters
+
+
+@dataclass
+class SimulationStats:
+    """Aggregated results of one simulation run."""
+
+    n_cpus: int = 1
+    total_cycles: float = 0.0
+    per_cpu: List[CycleCounters] = field(default_factory=list)
+    # Protocol counters (copied from the engine/L2 at the end of a run).
+    primary_violations: int = 0
+    secondary_violations: int = 0
+    secondary_rewinds_avoided: int = 0
+    subthreads_started: int = 0
+    epochs_committed: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    victim_spills: int = 0
+    overflow_squashes: int = 0
+    branch_mispredictions: int = 0
+    instructions_retired: int = 0
+    epochs_total: int = 0
+    failed_instruction_replays: int = 0
+
+    def finalize_idle(self) -> None:
+        """Attribute every unaccounted CPU-cycle to Idle."""
+        for counters in self.per_cpu:
+            attributed = sum(
+                counters.get(c) for c in Category.ALL if c != Category.IDLE
+            )
+            idle = self.total_cycles - attributed
+            counters.cycles[Category.IDLE] = max(0.0, idle)
+
+    def breakdown(self) -> CycleCounters:
+        """Per-category cycles summed over all CPUs."""
+        return CycleCounters.sum_of(self.per_cpu)
+
+    def breakdown_fractions(self) -> Dict[str, float]:
+        """Per-category fraction of total CPU-cycles (sums to ~1)."""
+        total = self.n_cpus * self.total_cycles
+        if total == 0:
+            return {c: 0.0 for c in Category.ALL}
+        summed = self.breakdown()
+        return {c: summed.get(c) / total for c in Category.ALL}
+
+    def speedup_over(self, baseline: "SimulationStats") -> float:
+        """Wall-clock speedup of this run relative to ``baseline``."""
+        if self.total_cycles == 0:
+            return float("inf")
+        return baseline.total_cycles / self.total_cycles
+
+    def summary(self, label: str = "") -> str:
+        frac = self.breakdown_fractions()
+        parts = [
+            f"{label:<16}" if label else "",
+            f"cycles={self.total_cycles:>12.0f}",
+            f"busy={frac[Category.BUSY]:.2f}",
+            f"miss={frac[Category.MISS]:.2f}",
+            f"sync={frac[Category.SYNC]:.2f}",
+            f"ovhd={frac[Category.OVERHEAD]:.2f}",
+            f"failed={frac[Category.FAILED]:.2f}",
+            f"idle={frac[Category.IDLE]:.2f}",
+            f"viol={self.primary_violations}+{self.secondary_violations}",
+        ]
+        return "  ".join(p for p in parts if p)

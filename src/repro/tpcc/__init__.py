@@ -1,0 +1,47 @@
+"""TPC-C workload: schema, loader, the five transactions, and the driver.
+
+Single-warehouse TPC-C as in the paper's evaluation (Section 4.1), with
+the NEW ORDER 150 and DELIVERY OUTER variants, scaled by ``TPCCScale``.
+"""
+
+from .consistency import ConsistencyError, check_consistency
+from .delivery import delivery, delivery_outer
+from .driver import (
+    BENCHMARKS,
+    DISPLAY_NAMES,
+    STANDARD_MIX,
+    GeneratedWorkload,
+    generate_mix_workload,
+    generate_workload,
+)
+from .inputs import InputGenerator
+from .loader import TPCCState, create_tables, fresh_database, load
+from .neworder import new_order, new_order_150
+from .orderstatus import order_status
+from .payment import payment
+from .schema import TPCCScale
+from .stocklevel import stock_level
+
+__all__ = [
+    "ConsistencyError",
+    "check_consistency",
+    "delivery",
+    "delivery_outer",
+    "BENCHMARKS",
+    "DISPLAY_NAMES",
+    "STANDARD_MIX",
+    "GeneratedWorkload",
+    "generate_mix_workload",
+    "generate_workload",
+    "InputGenerator",
+    "TPCCState",
+    "create_tables",
+    "fresh_database",
+    "load",
+    "new_order",
+    "new_order_150",
+    "order_status",
+    "payment",
+    "TPCCScale",
+    "stock_level",
+]

@@ -1,0 +1,122 @@
+"""TPC-C consistency conditions (clause 3.3.2), adapted to minidb.
+
+The TPC-C specification defines database consistency conditions that
+must hold before and after any benchmark run.  Since the trace generator
+*really executes* the transactions against minidb, these conditions are
+checkable after every workload generation — a strong end-to-end test
+that the transaction implementations are semantically correct, not just
+trace emitters.
+
+Adapted conditions (single warehouse):
+
+1. For each district: ``next_o_id - 1`` equals the maximum order id in
+   ORDERS and in NEW_ORDER (when the district has undelivered orders).
+2. For each district: NEW_ORDER row count equals
+   ``max(no_o_id) - min(no_o_id) + 1`` (the undelivered ids are a
+   contiguous range).
+3. For each order: ``ol_cnt`` equals its number of ORDER_LINE rows.
+4. Every NEW_ORDER row has a matching ORDERS row, and orders referenced
+   by NEW_ORDER have no carrier while delivered orders do.
+5. Every delivered order's lines carry a delivery date; undelivered
+   orders' lines carry none.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..minidb import Database
+from . import schema as S
+
+
+class ConsistencyError(AssertionError):
+    """A TPC-C consistency condition is violated."""
+
+
+def _district_orders(db: Database, d_id: int) -> Dict[int, dict]:
+    return {
+        key[2]: row
+        for key, row in db.table("orders").scan_range(
+            S.order_key(d_id, 0), S.order_key(d_id + 1, 0)
+        )
+    }
+
+
+def _district_new_orders(db: Database, d_id: int) -> List[int]:
+    return [
+        key[2]
+        for key, _ in db.table("new_order").scan_range(
+            S.new_order_key(d_id, 0), S.new_order_key(d_id + 1, 0)
+        )
+    ]
+
+
+def _order_lines(db: Database, d_id: int, o_id: int) -> List[dict]:
+    return [
+        row
+        for _, row in db.table("order_line").scan_range(
+            S.order_line_key(d_id, o_id, 0),
+            S.order_line_key(d_id, o_id + 1, 0),
+        )
+    ]
+
+
+def check_consistency(db: Database, districts: int) -> None:
+    """Raise :class:`ConsistencyError` on any violated condition."""
+    for d_id in range(1, districts + 1):
+        district = db.table("district").get(S.district_key(d_id))
+        orders = _district_orders(db, d_id)
+        new_orders = _district_new_orders(db, d_id)
+
+        # Condition 1: the order-id counter is consistent with ORDERS.
+        if orders:
+            if district["next_o_id"] - 1 != max(orders):
+                raise ConsistencyError(
+                    f"district {d_id}: next_o_id {district['next_o_id']} "
+                    f"inconsistent with max order {max(orders)}"
+                )
+        # Condition 2: undelivered ids form a contiguous range.
+        if new_orders:
+            lo, hi = min(new_orders), max(new_orders)
+            if len(new_orders) != hi - lo + 1:
+                raise ConsistencyError(
+                    f"district {d_id}: NEW_ORDER ids not contiguous "
+                    f"({sorted(new_orders)})"
+                )
+            if hi != district["next_o_id"] - 1:
+                raise ConsistencyError(
+                    f"district {d_id}: newest undelivered order {hi} != "
+                    f"next_o_id - 1"
+                )
+        undelivered = set(new_orders)
+        for o_id, order in orders.items():
+            lines = _order_lines(db, d_id, o_id)
+            # Condition 3: ol_cnt matches the stored lines.
+            if order["ol_cnt"] != len(lines):
+                raise ConsistencyError(
+                    f"order ({d_id},{o_id}): ol_cnt {order['ol_cnt']} "
+                    f"but {len(lines)} ORDER_LINE rows"
+                )
+            # Condition 4: carrier assignment matches delivery status.
+            delivered = o_id not in undelivered
+            if delivered and order["carrier_id"] is None:
+                raise ConsistencyError(
+                    f"order ({d_id},{o_id}): delivered but no carrier"
+                )
+            if not delivered and order["carrier_id"] is not None:
+                raise ConsistencyError(
+                    f"order ({d_id},{o_id}): undelivered but carries "
+                    f"{order['carrier_id']}"
+                )
+            # Condition 5: delivery dates on lines match status.
+            for line in lines:
+                if delivered and line["delivery_d"] is None:
+                    raise ConsistencyError(
+                        f"order ({d_id},{o_id}): delivered order has an "
+                        f"unstamped line"
+                    )
+                if not delivered and line["delivery_d"] is not None:
+                    raise ConsistencyError(
+                        f"order ({d_id},{o_id}): undelivered order has a "
+                        f"stamped line"
+                    )

@@ -1,0 +1,195 @@
+"""The DELIVERY transaction, inner- and outer-loop parallelizations.
+
+DELIVERY processes the oldest undelivered order of *each* of the ten
+districts: pop the NEW_ORDER row, stamp the order with a carrier, stamp
+every ORDER LINE with the delivery date while summing the amounts, and
+credit the customer's balance.
+
+Two epoch decompositions (Section 4.1):
+
+* **DELIVERY** — the *inner* loop over a single order's lines is
+  parallelized (one epoch per order line).  Only ~63% of the transaction
+  is covered, but epochs are small.
+* **DELIVERY OUTER** — the *outer* loop over districts is parallelized
+  (one epoch per district, ~99% coverage, ~10x larger epochs).  Larger
+  epochs mean a much larger penalty per violation, which is exactly the
+  case where sub-threads help most (the paper's headline: more than 2x
+  faster with sub-threads than without).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..minidb import Database, KeyNotFound
+from ..trace.recorder import TransactionTraceBuilder
+from . import schema as S
+from .inputs import InputGenerator
+from .loader import TPCCState
+
+
+def _deliver_one_district(db, txn, rec, d_id: int, carrier: int,
+                          line_hook=None) -> Optional[dict]:
+    """The per-district work shared by both variants.
+
+    ``line_hook`` (DELIVERY inner variant) brackets each order line with
+    epoch markers; when None the lines run inline (DELIVERY OUTER).
+    Returns None when the district has no undelivered order.
+    """
+    costs = rec.costs
+    rec.compute(costs.app_work)
+    oldest = None
+    for key, _row in db.table("new_order").scan_range(
+        S.new_order_key(d_id, 0), S.new_order_key(d_id + 1, 0), limit=1
+    ):
+        oldest = key
+    if oldest is None:
+        return None
+    o_id = oldest[2]
+    txn.lock(("order", d_id, o_id))
+    db.table("new_order").delete(oldest)
+    txn.log("new_order.delete", (d_id, o_id))
+
+    def stamp_carrier(row):
+        row["carrier_id"] = carrier
+        return row
+
+    order = db.table("orders").read_modify_write(
+        S.order_key(d_id, o_id), stamp_carrier
+    )
+    c_id = order["c_id"]
+    ol_cnt = order["ol_cnt"]
+
+    total = 0.0
+    for ol_number in range(1, ol_cnt + 1):
+        if line_hook is not None:
+            line_hook()
+        rec.compute(costs.app_work)
+
+        def stamp_line(row):
+            row["delivery_d"] = 1
+            return row
+
+        try:
+            line = db.table("order_line").read_modify_write(
+                S.order_line_key(d_id, o_id, ol_number), stamp_line
+            )
+        except KeyNotFound:
+            continue
+        total += line["amount"]
+        txn.log("order_line.deliver", (d_id, o_id, ol_number))
+        rec.store(
+            rec.scratch_addr(0x300),
+            8,
+            "delivery.partial_amount",
+        )
+    return {"d_id": d_id, "o_id": o_id, "c_id": c_id, "total": total,
+            "lines": ol_cnt}
+
+
+def _record_result(db, state, rec, d_id: int, o_id: int) -> None:
+    """Append this district's outcome to the shared result file.
+
+    TPC-C requires DELIVERY to record the delivered order ids in a result
+    file.  The append reads and advances a shared tail — a genuine
+    cross-epoch dependence at the *end* of each district's processing.
+    For large outer-loop epochs this is the late dependence that makes
+    all-or-nothing recovery catastrophic and sub-threads cheap
+    (Figure 6(d) of the paper).
+    """
+    amap = rec.addr_map
+    rec.compute(rec.costs.log_append)
+    rec.load(amap.results_tail_addr(), 8, "delivery.result_tail_read")
+    rec.store(amap.results_tail_addr(), 8, "delivery.result_tail_write")
+    rec.store(
+        amap.results_entry_addr(state.next_result), 32,
+        "delivery.result_entry",
+    )
+    state.next_result += 1
+
+
+def _credit_customer(db, txn, rec, d_id: int, c_id: int, total: float):
+    txn.lock(("customer", d_id, c_id))
+
+    def credit(row):
+        row["balance"] += total
+        row["delivery_cnt"] += 1
+        return row
+
+    db.table("customer").read_modify_write(
+        S.customer_key(d_id, c_id), credit
+    )
+    txn.log("customer.credit", (d_id, c_id, total))
+
+
+def delivery(
+    db: Database,
+    state: TPCCState,
+    builder: TransactionTraceBuilder,
+    gen: InputGenerator,
+) -> dict:
+    """DELIVERY with the inner (order-line) loop parallelized."""
+    rec = db.recorder
+    carrier = gen.carrier()
+    builder.begin_serial()
+    txn = db.begin()
+    delivered = []
+    for d_id in range(1, gen.scale.districts + 1):
+        builder.begin_serial()
+        # The find/delete/carrier work is serial; only the line loop is
+        # parallel, so we open the region lazily via the line hook.
+        in_region = {"open": False}
+
+        def line_hook():
+            if not in_region["open"]:
+                builder.begin_parallel()
+                in_region["open"] = True
+            builder.begin_epoch()
+
+        result = _deliver_one_district(
+            db, txn, rec, d_id, carrier, line_hook=line_hook
+        )
+        if in_region["open"]:
+            builder.end_parallel()
+        builder.begin_serial()
+        if result is not None:
+            _credit_customer(
+                db, txn, rec, d_id, result["c_id"], result["total"]
+            )
+            _record_result(db, state, rec, d_id, result["o_id"])
+            delivered.append(result)
+    builder.begin_serial()
+    txn.commit()
+    db.commit_epilogue()
+    return {"carrier": carrier, "districts_delivered": len(delivered),
+            "results": delivered}
+
+
+def delivery_outer(
+    db: Database,
+    state: TPCCState,
+    builder: TransactionTraceBuilder,
+    gen: InputGenerator,
+) -> dict:
+    """DELIVERY OUTER: one epoch per district (99% coverage)."""
+    rec = db.recorder
+    carrier = gen.carrier()
+    builder.begin_serial()
+    txn = db.begin()
+    builder.begin_parallel()
+    delivered = []
+    for d_id in range(1, gen.scale.districts + 1):
+        builder.begin_epoch()
+        result = _deliver_one_district(db, txn, rec, d_id, carrier)
+        if result is not None:
+            _credit_customer(
+                db, txn, rec, d_id, result["c_id"], result["total"]
+            )
+            _record_result(db, state, rec, d_id, result["o_id"])
+            delivered.append(result)
+    builder.end_parallel()
+    builder.begin_serial()
+    txn.commit()
+    db.commit_epilogue()
+    return {"carrier": carrier, "districts_delivered": len(delivered),
+            "results": delivered}

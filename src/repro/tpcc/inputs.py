@@ -1,0 +1,82 @@
+"""Seeded TPC-C input generation (clause 2 run rules, simplified).
+
+The paper chooses transaction parameters "according to the TPC-C run
+rules using the Unix random function, and each experiment uses the same
+seed for repeatability".  We use ``random.Random(seed)`` and the standard
+NURand non-uniform distribution, scaled to the configured cardinalities.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from .schema import TPCCScale
+
+
+@dataclass
+class InputGenerator:
+    """Deterministic parameter source for the transaction mix."""
+
+    scale: TPCCScale
+    seed: int = 42
+    rng: random.Random = field(init=False)
+
+    def __post_init__(self):
+        self.rng = random.Random(self.seed)
+        # TPC-C fixes the NURand C constants per run.
+        self._c_item = self.rng.randrange(0, 256)
+        self._c_cust = self.rng.randrange(0, 1024)
+
+    def _nurand(self, a: int, c: int, low: int, high: int) -> int:
+        """TPC-C NURand(A, x, y): non-uniform over [low, high]."""
+        r = self.rng
+        return (
+            ((r.randrange(0, a + 1) | r.randrange(low, high + 1)) + c)
+            % (high - low + 1)
+        ) + low
+
+    # ------------------------------------------------------------------
+    # Field generators
+    # ------------------------------------------------------------------
+
+    def district(self) -> int:
+        return self.rng.randrange(1, self.scale.districts + 1)
+
+    def customer(self) -> int:
+        n = self.scale.customers_per_district
+        return self._nurand(min(1023, n - 1), self._c_cust, 1, n)
+
+    def item(self) -> int:
+        n = self.scale.items
+        return self._nurand(min(8191, n - 1), self._c_item, 1, n)
+
+    def order_items(self, lo: int = 5, hi: int = 15) -> List[Tuple[int, int]]:
+        """(item_id, quantity) list for a NEW ORDER.
+
+        The default 5..15 items matches the spec; NEW ORDER 150 scales the
+        range to 50..150 items per order (Section 4.1).
+        """
+        count = self.rng.randrange(lo, hi + 1)
+        return [
+            (self.item(), self.rng.randrange(1, 11)) for _ in range(count)
+        ]
+
+    def payment_amount(self) -> float:
+        return round(self.rng.uniform(1.0, 5000.0), 2)
+
+    def by_last_name(self) -> bool:
+        """60% of PAYMENT/ORDER STATUS select the customer by last name."""
+        return self.rng.random() < 0.60
+
+    def last_name_number(self) -> int:
+        n = self.scale.customers_per_district
+        return self._nurand(min(255, n - 1), self._c_cust, 0, n - 1)
+
+    def threshold(self) -> int:
+        """STOCK LEVEL threshold, uniform over [10, 20]."""
+        return self.rng.randrange(10, 21)
+
+    def carrier(self) -> int:
+        return self.rng.randrange(1, 11)

@@ -1,0 +1,123 @@
+"""The NEW ORDER transaction (and its NEW ORDER 150 variant).
+
+NEW ORDER accounts for almost half the TPC-C mix and is the paper's
+motivating example.  Epoch decomposition: the **per-item loop** is
+parallelized — each ordered item becomes one speculative thread that
+reads the item, updates the stock row, and inserts one ORDER LINE row.
+
+Cross-epoch dependences (in the fully-optimized engine) arise through the
+ORDER LINE leaf pages — consecutive line numbers land on the same leaf,
+so each epoch's insert stores to a page whose header and cells later
+epochs have already read during their own descent — and, occasionally,
+through duplicate items hitting the same STOCK row.
+"""
+
+from __future__ import annotations
+
+from ..minidb import Database
+from ..trace.recorder import TransactionTraceBuilder
+from . import schema as S
+from .inputs import InputGenerator
+from .loader import TPCCState
+
+
+def new_order(
+    db: Database,
+    state: TPCCState,
+    builder: TransactionTraceBuilder,
+    gen: InputGenerator,
+    item_range=(5, 15),
+) -> dict:
+    """Run one NEW ORDER; returns a result summary (tests use it)."""
+    rec = db.recorder
+    costs = rec.costs
+
+    builder.begin_serial()
+    txn = db.begin()
+    d_id = gen.district()
+    c_id = gen.customer()
+    items = gen.order_items(*item_range)
+
+    warehouse = db.table("warehouse").get(S.warehouse_key())
+    txn.lock(("district", d_id))
+
+    def bump(dist):
+        dist["next_o_id"] += 1
+        return dist
+
+    district = db.table("district").read_modify_write(
+        S.district_key(d_id), bump
+    )
+    o_id = district["next_o_id"] - 1
+    customer = db.table("customer").get(S.customer_key(d_id, c_id))
+    rec.compute(costs.app_work)
+
+    txn.lock(("order", d_id, o_id))
+    db.table("orders").insert(
+        S.order_key(d_id, o_id), S.order_row(c_id, len(items))
+    )
+    db.table("new_order").insert(S.new_order_key(d_id, o_id), {})
+    txn.log("order.insert", (d_id, o_id, c_id))
+
+    def set_last_order(cust):
+        cust["last_order"] = o_id
+        return cust
+
+    db.table("customer").read_modify_write(
+        S.customer_key(d_id, c_id), set_last_order
+    )
+
+    # ---- the parallelized per-item loop --------------------------------
+    builder.begin_parallel()
+    total = 0.0
+    for ol_number, (i_id, qty) in enumerate(items, start=1):
+        builder.begin_epoch()
+        rec.compute(costs.app_work)
+        txn.lock(("stock", i_id))
+        item = db.table("item").get(S.item_key(i_id))
+
+        def take_stock(stock, qty=qty):
+            if stock["quantity"] >= qty + 10:
+                stock["quantity"] -= qty
+            else:
+                stock["quantity"] = stock["quantity"] - qty + 91
+            stock["ytd"] += qty
+            stock["order_cnt"] += 1
+            return stock
+
+        db.table("stock").read_modify_write(S.stock_key(i_id), take_stock)
+        amount = round(qty * item["price"], 2)
+        total += amount
+        rec.compute(costs.app_work)
+        db.table("order_line").insert(
+            S.order_line_key(d_id, o_id, ol_number),
+            S.order_line_row(i_id, qty, amount),
+        )
+        txn.log("order_line.insert", (d_id, o_id, ol_number, i_id))
+        # Per-epoch partial total in the epoch's private scratch area.
+        rec.store(
+            rec.scratch_addr(0x100),
+            8,
+            "new_order.partial_total",
+        )
+    builder.end_parallel()
+
+    # ---- serial epilogue -----------------------------------------------
+    builder.begin_serial()
+    rec.compute(costs.app_work)
+    total = round(total * (1 + warehouse["tax"] + district["tax"]), 2)
+    txn.commit()
+    db.commit_epilogue()
+    return {
+        "d_id": d_id,
+        "o_id": o_id,
+        "c_id": c_id,
+        "lines": len(items),
+        "total": total,
+        "customer_credit": customer["credit"],
+    }
+
+
+def new_order_150(db, state, builder, gen) -> dict:
+    """NEW ORDER 150: 50-150 items per order (Section 4.1)."""
+    return new_order(db, state, builder, gen, item_range=(50, 150))

@@ -1,0 +1,105 @@
+"""The ORDER STATUS transaction.
+
+A read-only query: find the customer's most recent order and report its
+order lines.  The per-line loop is parallelized in chunks (Table 2: 2.7
+threads/transaction), but the serial customer-resolution prefix keeps
+coverage at ~38%, so — as the paper reports — TLS does not speed ORDER
+STATUS up appreciably.
+"""
+
+from __future__ import annotations
+
+from ..minidb import Database, KeyNotFound
+from ..trace.recorder import TransactionTraceBuilder
+from . import schema as S
+from .inputs import InputGenerator
+from .loader import TPCCState
+
+#: Order lines per speculative thread.
+LINES_PER_EPOCH = 4
+
+
+def order_status(
+    db: Database,
+    state: TPCCState,
+    builder: TransactionTraceBuilder,
+    gen: InputGenerator,
+) -> dict:
+    rec = db.recorder
+    costs = rec.costs
+
+    builder.begin_serial()
+    txn = db.begin()
+    d_id = gen.district()
+    by_name = gen.by_last_name()
+    if by_name:
+        target_last = S.last_name(gen.last_name_number())
+        # Serial name resolution through the secondary index.
+        matches = [
+            key[2]
+            for key, _ in db.table("customer_name_idx").scan_range(
+                S.customer_name_key(d_id, target_last, 0),
+                S.customer_name_key(d_id, target_last, S.MAX_C_ID),
+            )
+        ]
+        rec.compute(costs.key_compare * max(1, len(matches)))
+        c_id = matches[len(matches) // 2] if matches else gen.customer()
+    else:
+        c_id = gen.customer()
+
+    customer = db.table("customer").get(S.customer_key(d_id, c_id))
+    o_id = customer["last_order"]
+    if not o_id:
+        # Customer has never ordered; report the district's most recent
+        # order instead (keeps the transaction's work representative).
+        district = db.table("district").get(S.district_key(d_id))
+        o_id = district["next_o_id"] - 1
+    order = db.table("orders").get(S.order_key(d_id, o_id))
+    ol_cnt = order["ol_cnt"]
+    rec.compute(costs.app_work)
+
+    lines = []
+    chunks = [
+        range(lo, min(lo + LINES_PER_EPOCH, ol_cnt + 1))
+        for lo in range(1, ol_cnt + 1, LINES_PER_EPOCH)
+    ]
+    builder.begin_parallel()
+    for chunk in chunks:
+        builder.begin_epoch()
+        rec.compute(costs.app_work)
+        for ol_number in chunk:
+            try:
+                line = db.table("order_line").get(
+                    S.order_line_key(d_id, o_id, ol_number)
+                )
+            except KeyNotFound:
+                continue
+            lines.append((ol_number, line["i_id"], line["qty"],
+                          line["amount"]))
+            rec.store(
+                rec.scratch_addr(0x500 + ol_number * 8),
+                8,
+                "order_status.report_line",
+            )
+    builder.end_parallel()
+
+    builder.begin_serial()
+    # Serial result assembly: TPC-C requires the customer, order, and
+    # every line's details to be returned to the terminal; the rows the
+    # epochs reported (via their scratch slots) are gathered and
+    # formatted here.
+    rec.compute(costs.app_work)
+    for ol_number, _i_id, _qty, _amount in lines:
+        # Read back from the arena of the epoch that reported this line.
+        epoch_idx = (ol_number - 1) // LINES_PER_EPOCH
+        arena = (epoch_idx % rec.scratch_arenas) + 1
+        rec.load(
+            rec.addr_map.app_scratch_addr(arena, 0x500 + ol_number * 8),
+            8,
+            "order_status.gather_line",
+        )
+        rec.compute(costs.record_copy_per_byte * 48)
+    txn.commit()
+    db.commit_epilogue()
+    return {"d_id": d_id, "c_id": c_id, "o_id": o_id, "lines": lines,
+            "balance": customer["balance"]}

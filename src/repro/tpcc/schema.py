@@ -1,0 +1,182 @@
+"""TPC-C schema for a single-warehouse configuration.
+
+The paper configures TPC-C with one warehouse (their technique extracts
+concurrency *within* a transaction, so cross-warehouse concurrency is
+unnecessary) and a memory-resident buffer pool.  Cardinalities are scaled
+down (``TPCCScale``) so a pure-Python simulation of the full evaluation
+completes quickly; the official cardinalities are retained as
+``TPCCScale.paper()`` for larger runs.
+
+Keys are tuples ordered so that related rows cluster in the B+-tree —
+order lines of one order are adjacent, orders of one district are
+adjacent — exactly the clustering that creates same-leaf insert
+dependences between speculative epochs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TPCCScale:
+    """Cardinalities for the single warehouse."""
+
+    districts: int = 10
+    customers_per_district: int = 30
+    items: int = 200
+    #: Initial delivered orders per district (history depth).  Kept small
+    #: so adjacent districts share B-tree leaves, preserving (at reduced
+    #: scale) the cross-thread leaf sharing the paper's full-size trees
+    #: exhibit.
+    initial_orders: int = 2
+    #: Initial undelivered orders per district (DELIVERY's input queue;
+    #: must cover the number of DELIVERY transactions simulated).
+    initial_new_orders: int = 6
+
+    @staticmethod
+    def paper() -> "TPCCScale":
+        """Official TPC-C cardinalities (slow under pure Python)."""
+        return TPCCScale(
+            districts=10,
+            customers_per_district=3000,
+            items=100_000,
+            initial_orders=3000,
+            initial_new_orders=900,
+        )
+
+    @staticmethod
+    def tiny() -> "TPCCScale":
+        """Minimal scale for fast unit tests."""
+        return TPCCScale(
+            districts=2,
+            customers_per_district=8,
+            items=30,
+            initial_orders=3,
+            initial_new_orders=2,
+        )
+
+
+#: Table name -> cell size in bytes (drives how many rows share a cache
+#: line: ORDER_LINE's 32-byte cells put adjacent lines on one 32B line).
+TABLE_CELL_SIZES = {
+    "warehouse": 96,
+    "district": 96,
+    "customer": 96,
+    "history": 48,
+    "item": 64,
+    "stock": 64,
+    "orders": 48,
+    "new_order": 32,
+    "order_line": 32,
+    #: Secondary index: (d_id, last_name, c_id) -> None.
+    "customer_name_idx": 48,
+}
+
+W = 1  # the single warehouse id
+
+
+def warehouse_row(ytd: float = 0.0) -> dict:
+    return {"name": "W1", "tax": 0.07, "ytd": ytd}
+
+
+def district_row(next_o_id: int) -> dict:
+    return {"tax": 0.05, "ytd": 0.0, "next_o_id": next_o_id}
+
+
+def customer_row(c_id: int, last: str) -> dict:
+    return {
+        "last": last,
+        "credit": "GC",
+        "balance": -10.0,
+        "ytd_payment": 10.0,
+        "payment_cnt": 1,
+        "delivery_cnt": 0,
+        "last_order": 0,
+    }
+
+
+def item_row(i_id: int) -> dict:
+    return {"name": f"item-{i_id}", "price": 1.0 + (i_id % 100) / 10.0}
+
+
+def stock_row(i_id: int) -> dict:
+    return {"quantity": 50 + (i_id % 50), "ytd": 0, "order_cnt": 0,
+            "remote_cnt": 0}
+
+
+def order_row(c_id: int, ol_cnt: int, carrier_id=None) -> dict:
+    return {"c_id": c_id, "ol_cnt": ol_cnt, "carrier_id": carrier_id,
+            "entry_d": 0}
+
+
+def order_line_row(i_id: int, qty: int, amount: float) -> dict:
+    return {"i_id": i_id, "qty": qty, "amount": amount, "delivery_d": None}
+
+
+def history_row(d_id: int, c_id: int, amount: float) -> dict:
+    return {"d_id": d_id, "c_id": c_id, "amount": amount}
+
+
+# Key constructors -----------------------------------------------------
+
+
+def warehouse_key() -> tuple:
+    return (W,)
+
+
+def district_key(d_id: int) -> tuple:
+    return (W, d_id)
+
+
+def customer_key(d_id: int, c_id: int) -> tuple:
+    return (W, d_id, c_id)
+
+
+def customer_name_key(d_id: int, last: str, c_id: int) -> tuple:
+    """Secondary-index key: customers of a district by last name."""
+    return (d_id, last, c_id)
+
+
+#: Upper bound for customer-name index range scans.
+MAX_C_ID = 1 << 30
+
+
+def item_key(i_id: int) -> tuple:
+    return (i_id,)
+
+
+def stock_key(i_id: int) -> tuple:
+    return (W, i_id)
+
+
+def order_key(d_id: int, o_id: int) -> tuple:
+    return (W, d_id, o_id)
+
+
+def new_order_key(d_id: int, o_id: int) -> tuple:
+    return (W, d_id, o_id)
+
+
+def order_line_key(d_id: int, o_id: int, ol_number: int) -> tuple:
+    return (W, d_id, o_id, ol_number)
+
+
+def history_key(h_id: int) -> tuple:
+    return (h_id,)
+
+
+#: Customer last names are generated per the TPC-C syllable rule.
+_SYLLABLES = (
+    "BAR", "OUGHT", "ABLE", "PRI", "PRES",
+    "ESE", "ANTI", "CALLY", "ATION", "EING",
+)
+
+
+def last_name(num: int) -> str:
+    """TPC-C last-name generation from a number (clause 4.3.2.3)."""
+    return (
+        _SYLLABLES[(num // 100) % 10]
+        + _SYLLABLES[(num // 10) % 10]
+        + _SYLLABLES[num % 10]
+    )

@@ -1,0 +1,74 @@
+"""The STOCK LEVEL transaction.
+
+STOCK LEVEL examines the order lines of a district's most recent orders
+and counts distinct items whose stock quantity sits below a threshold.
+It is read-only, so under the fully-optimized engine its speculative
+epochs rarely violate — its 4-CPU cost is dominated by cache behaviour
+(the scan's data spreads across four L1 caches), which is exactly what
+Figure 5(e) of the paper shows.
+
+Epoch decomposition: one epoch per recent order (Table 2: 9.7
+threads/transaction).
+"""
+
+from __future__ import annotations
+
+from ..minidb import Database, KeyNotFound
+from ..trace.recorder import TransactionTraceBuilder
+from . import schema as S
+from .inputs import InputGenerator
+from .loader import TPCCState
+
+#: How many recent orders the transaction inspects (the spec uses 20 at
+#: full scale; scaled to keep ~10 epochs per transaction).
+RECENT_ORDERS = 10
+
+
+def stock_level(
+    db: Database,
+    state: TPCCState,
+    builder: TransactionTraceBuilder,
+    gen: InputGenerator,
+) -> dict:
+    rec = db.recorder
+    costs = rec.costs
+
+    builder.begin_serial()
+    txn = db.begin()
+    d_id = gen.district()
+    threshold = gen.threshold()
+    district = db.table("district").get(S.district_key(d_id))
+    next_o_id = district["next_o_id"]
+    first = max(1, next_o_id - RECENT_ORDERS)
+
+    low_items = set()
+    builder.begin_parallel()
+    for o_id in range(first, next_o_id):
+        builder.begin_epoch()
+        rec.compute(costs.app_work)
+        for key, line in db.table("order_line").scan_range(
+            S.order_line_key(d_id, o_id, 0),
+            S.order_line_key(d_id, o_id + 1, 0),
+        ):
+            i_id = line["i_id"]
+            try:
+                stock = db.table("stock").get(S.stock_key(i_id))
+            except KeyNotFound:
+                continue
+            rec.compute(costs.key_compare)
+            if stock["quantity"] < threshold:
+                low_items.add(i_id)
+                rec.store(
+                    rec.scratch_addr(0x400 + (i_id % 64) * 8),
+                    8,
+                    "stock_level.mark_low",
+                )
+    builder.end_parallel()
+
+    builder.begin_serial()
+    # Serial reduction: merge the per-epoch item sets and count distinct.
+    rec.compute(costs.app_work + costs.key_compare * max(1, len(low_items)))
+    txn.commit()
+    db.commit_epilogue()
+    return {"d_id": d_id, "threshold": threshold,
+            "low_stock": len(low_items)}

@@ -1,0 +1,151 @@
+"""Synthetic physical address layout for instrumented minidb executions.
+
+The TLS protocol detects dependences by address, so the trace generator
+must place storage-engine structures at stable, realistic addresses.  The
+layout mirrors where the paper's cross-thread dependences actually live:
+shared B-tree pages in the buffer pool, the buffer-pool metadata (hash
+buckets and LRU chain), the log tail, and the lock-manager table.
+
+Regions (byte addresses):
+
+=============  ==================  =========================================
+region         base                contents
+=============  ==================  =========================================
+pages          0x1000_0000         buffer-pool page frames (page_id-indexed)
+pool meta      0x2000_0000         frame control blocks, hash buckets
+pool LRU       0x2100_0000         LRU list head/tail words (hot!)
+log            0x3000_0000         WAL buffer; tail pointer at region base
+locks          0x4000_0000         lock-table buckets
+txn            0x5000_0000         transaction-manager counters
+app            0x6000_0000         per-transaction private scratch
+=============  ==================  =========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Computes addresses for every storage-engine structure."""
+
+    page_size: int = 2048
+    word_size: int = 4
+
+    PAGES_BASE: int = 0x1000_0000
+    POOL_META_BASE: int = 0x2000_0000
+    POOL_LRU_BASE: int = 0x2100_0000
+    LOG_BASE: int = 0x3000_0000
+    LOCKS_BASE: int = 0x4000_0000
+    TXN_BASE: int = 0x5000_0000
+    APP_BASE: int = 0x6000_0000
+    RESULTS_BASE: int = 0x7000_0000
+
+    def page_addr(self, page_id: int, offset: int = 0) -> int:
+        """Address of byte ``offset`` within page ``page_id``."""
+        if offset >= self.page_size:
+            raise ValueError(
+                f"offset {offset} outside page of size {self.page_size}"
+            )
+        return self.PAGES_BASE + page_id * self.page_size + offset
+
+    def page_header_addr(self, page_id: int) -> int:
+        """Address of the page header (type, count, next pointers)."""
+        return self.page_addr(page_id, 0)
+
+    def page_slot_addr(self, page_id: int, slot: int) -> int:
+        """Address of slot-directory entry ``slot`` in the page.
+
+        The slot directory starts after a 32-byte header; each entry is one
+        word.  Slot addresses beyond the page are clamped to the last word
+        (real engines would have overflowed to a new page first).
+        """
+        offset = 32 + slot * self.word_size
+        offset = min(offset, self.page_size - self.word_size)
+        return self.page_addr(page_id, offset)
+
+    def frame_ctl_addr(self, page_id: int) -> int:
+        """Buffer-pool frame control block for a page (pin count, flags)."""
+        return self.POOL_META_BASE + page_id * 64
+
+    def pool_hash_addr(self, bucket: int) -> int:
+        """Buffer-pool hash bucket head pointer."""
+        return self.POOL_META_BASE + 0x40_0000 + bucket * self.word_size
+
+    def lru_head_addr(self) -> int:
+        """The global LRU list head word — a classic TLS hot spot."""
+        return self.POOL_LRU_BASE
+
+    def lru_tail_addr(self) -> int:
+        return self.POOL_LRU_BASE + self.word_size
+
+    def log_tail_addr(self) -> int:
+        """The WAL tail pointer — every log append reads and writes this."""
+        return self.LOG_BASE
+
+    def log_buffer_addr(self, offset: int) -> int:
+        """Address of byte ``offset`` within the (circular) log buffer."""
+        return self.LOG_BASE + 64 + (offset % 0x10_0000)
+
+    def fsm_addr(self, page_id: int) -> int:
+        """Free-space-map word covering a 16-page group.
+
+        Inserts and deletes update the fill factor of their page's group;
+        epochs operating on nearby pages therefore share this word — a
+        residual engine dependence that survives TLS tuning.
+        """
+        return self.POOL_META_BASE + 0x80_0000 + (page_id // 16) * 8
+
+    def lock_bucket_addr(self, bucket: int) -> int:
+        return self.LOCKS_BASE + bucket * 32
+
+    def txn_counter_addr(self) -> int:
+        """Global next-transaction-id counter."""
+        return self.TXN_BASE
+
+    def results_tail_addr(self) -> int:
+        """Tail pointer of the shared result file (TPC-C DELIVERY must
+        record each district's outcome into a result file)."""
+        return self.RESULTS_BASE
+
+    def results_entry_addr(self, index: int) -> int:
+        """Address of result-file entry ``index`` (32-byte entries, so
+        consecutive appends by consecutive epochs share cache lines)."""
+        return self.RESULTS_BASE + 64 + index * 32
+
+    def app_scratch_addr(self, owner: int, offset: int) -> int:
+        """Private scratch space for transaction/epoch ``owner``."""
+        return self.APP_BASE + owner * 0x1_0000 + offset
+
+
+class PCRegistry:
+    """Allocates stable synthetic program counters for static code sites.
+
+    The dependence profiler reports (load PC, store PC) pairs; giving every
+    instrumentation site a distinct, named PC makes those reports readable
+    ("btree.leaf.read_slot" instead of a bare number).
+    """
+
+    def __init__(self, base: int = 0x0040_0000, stride: int = 16):
+        self._base = base
+        self._stride = stride
+        self._by_name: dict = {}
+        self._by_pc: dict = {}
+
+    def pc(self, name: str) -> int:
+        """Return (allocating if needed) the PC for code site ``name``."""
+        existing = self._by_name.get(name)
+        if existing is not None:
+            return existing
+        pc = self._base + len(self._by_name) * self._stride
+        self._by_name[name] = pc
+        self._by_pc[pc] = name
+        return pc
+
+    def name(self, pc: int) -> str:
+        """Human-readable name for a PC (falls back to hex)."""
+        return self._by_pc.get(pc, f"0x{pc:x}")
+
+    def __len__(self) -> int:
+        return len(self._by_name)

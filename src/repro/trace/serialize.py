@@ -1,0 +1,117 @@
+"""Workload-trace serialization (compact JSON).
+
+Trace generation (running TPC-C against minidb) and simulation are
+separable stages; serializing the trace lets a generated workload be
+archived, diffed, or replayed under many machine configurations without
+regenerating it — the same role the paper's on-disk instruction traces
+play for their simulator.
+
+Format: a single JSON object with a version tag; records are flat JSON
+arrays (tuples round-trip as lists and are converted back on load).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from .events import (
+    EpochTrace,
+    ParallelRegion,
+    Record,
+    SerialSegment,
+    TransactionTrace,
+    WorkloadTrace,
+)
+
+FORMAT_VERSION = 1
+
+
+def _records_out(records: List[Record]) -> list:
+    return [list(r) for r in records]
+
+
+def _records_in(raw: list) -> List[Record]:
+    return [tuple(r) for r in raw]
+
+
+def workload_to_dict(workload: WorkloadTrace) -> dict:
+    """Plain-dict form (the JSON document) of a workload trace."""
+    txns = []
+    for txn in workload.transactions:
+        segments = []
+        for seg in txn.segments:
+            if isinstance(seg, SerialSegment):
+                segments.append(
+                    {"type": "serial", "records": _records_out(seg.records)}
+                )
+            elif isinstance(seg, ParallelRegion):
+                segments.append(
+                    {
+                        "type": "parallel",
+                        "epochs": [
+                            {
+                                "epoch_id": e.epoch_id,
+                                "records": _records_out(e.records),
+                            }
+                            for e in seg.epochs
+                        ],
+                    }
+                )
+            else:
+                raise TypeError(f"unknown segment {seg!r}")
+        txns.append({"name": txn.name, "segments": segments})
+    return {
+        "format": "repro-workload-trace",
+        "version": FORMAT_VERSION,
+        "name": workload.name,
+        "transactions": txns,
+    }
+
+
+def workload_from_dict(doc: dict) -> WorkloadTrace:
+    if doc.get("format") != "repro-workload-trace":
+        raise ValueError("not a repro workload trace document")
+    if doc.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported trace version {doc.get('version')!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    workload = WorkloadTrace(name=doc["name"])
+    for txn_doc in doc["transactions"]:
+        txn = TransactionTrace(name=txn_doc["name"])
+        for seg_doc in txn_doc["segments"]:
+            if seg_doc["type"] == "serial":
+                txn.segments.append(
+                    SerialSegment(records=_records_in(seg_doc["records"]))
+                )
+            elif seg_doc["type"] == "parallel":
+                txn.segments.append(
+                    ParallelRegion(
+                        epochs=[
+                            EpochTrace(
+                                epoch_id=e["epoch_id"],
+                                records=_records_in(e["records"]),
+                            )
+                            for e in seg_doc["epochs"]
+                        ]
+                    )
+                )
+            else:
+                raise ValueError(
+                    f"unknown segment type {seg_doc['type']!r}"
+                )
+        workload.transactions.append(txn)
+    return workload
+
+
+def save_workload(workload: WorkloadTrace, path) -> None:
+    """Write the trace as JSON to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(workload_to_dict(workload), fh, separators=(",", ":"))
+
+
+def load_workload(path) -> WorkloadTrace:
+    """Read a trace previously written by :func:`save_workload`."""
+    with open(path) as fh:
+        return workload_from_dict(json.load(fh))

@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import TLSConfig, TLSEngine
+from repro.memory.cache import CacheGeometry
+from repro.memory.l2 import SpeculativeL2
+from repro.tpcc import TPCCScale, generate_workload
+from repro.trace import TraceRecorder, default_costs
+
+
+class DictDirectory:
+    """A ContextDirectory backed by plain dicts (for L2 unit tests)."""
+
+    def __init__(self):
+        self.orders = {}
+        self.subidxs = {}
+
+    def bind(self, ctx: int, order: int, subidx: int = 0):
+        self.orders[ctx] = order
+        self.subidxs[ctx] = subidx
+        return ctx
+
+    def order_of(self, ctx: int) -> int:
+        return self.orders[ctx]
+
+    def subidx_of(self, ctx: int) -> int:
+        return self.subidxs[ctx]
+
+
+@pytest.fixture
+def directory():
+    return DictDirectory()
+
+
+@pytest.fixture
+def small_l2(directory):
+    """A small speculative L2 (256 sets won't matter; tiny for eviction
+    tests use their own geometry)."""
+    geom = CacheGeometry(size_bytes=32 * 1024, assoc=4, line_size=32)
+    return SpeculativeL2(geom, directory, victim_entries=8)
+
+
+@pytest.fixture
+def recorder():
+    return TraceRecorder(costs=default_costs())
+
+
+@pytest.fixture(scope="session")
+def tiny_scale():
+    return TPCCScale.tiny()
+
+
+@pytest.fixture(scope="session")
+def tiny_new_order():
+    """A cached tiny NEW ORDER workload (TLS mode)."""
+    return generate_workload(
+        "new_order", tls_mode=True, n_transactions=2,
+        scale=TPCCScale.tiny(),
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_new_order_seq():
+    return generate_workload(
+        "new_order", tls_mode=False, n_transactions=2,
+        scale=TPCCScale.tiny(),
+    )

@@ -1,0 +1,85 @@
+"""Tests for the per-core timing model and the GShare predictor."""
+
+import pytest
+
+from repro.cpu.branch import GShareBranchPredictor
+from repro.cpu.pipeline import CorePipeline, PipelineConfig
+from repro.trace.events import Op
+
+
+class TestGShare:
+    def test_learns_always_taken(self):
+        p = GShareBranchPredictor()
+        pc = 0x4000
+        for _ in range(8):
+            p.predict_and_update(pc, True)
+        assert p.predict_and_update(pc, True)
+
+    def test_learns_alternating_pattern_with_history(self):
+        """With 8 history bits, a strict alternation becomes predictable."""
+        p = GShareBranchPredictor(table_bytes=16 * 1024, history_bits=8)
+        pc = 0x4000
+        outcome = True
+        for _ in range(64):  # warm up
+            p.predict_and_update(pc, outcome)
+            outcome = not outcome
+        correct = 0
+        for _ in range(64):
+            correct += p.predict_and_update(pc, outcome)
+            outcome = not outcome
+        assert correct >= 60
+
+    def test_misprediction_rate_tracks(self):
+        p = GShareBranchPredictor()
+        for i in range(100):
+            p.predict_and_update(0x4000 + 16 * i, bool(i % 2))
+        assert p.predictions == 100
+        assert 0.0 <= p.misprediction_rate <= 1.0
+
+    def test_rejects_non_pow2_table(self):
+        with pytest.raises(ValueError):
+            GShareBranchPredictor(table_bytes=3000)
+
+
+class TestCorePipeline:
+    def make(self):
+        return CorePipeline(PipelineConfig())
+
+    def test_compute_at_issue_width(self):
+        pipe = self.make()
+        assert pipe.compute_cycles(8) == 2  # 4-wide
+        assert pipe.compute_cycles(9) == 3  # ceil
+
+    def test_compute_counts_instructions(self):
+        pipe = self.make()
+        pipe.compute_cycles(100)
+        assert pipe.instructions_retired == 100
+
+    def test_int_div_is_expensive(self):
+        pipe = self.make()
+        div = pipe.op_cycles(Op.INT_DIV, 1)
+        mul = pipe.op_cycles(Op.INT_MUL, 1)
+        assert div > mul > 1
+
+    def test_ops_amortize_over_units(self):
+        cfg = PipelineConfig()
+        pipe = CorePipeline(cfg)
+        # 2 FP units; n FP divides cost ~ n * latency / 2.
+        cycles = pipe.op_cycles(Op.FP_DIV, 10)
+        assert cycles == round(10 * cfg.fp_div_latency / cfg.fp_units)
+
+    def test_unknown_op_rejected(self):
+        pipe = self.make()
+        with pytest.raises(ValueError):
+            pipe.op_cycles(999, 1)
+
+    def test_branch_mispredict_charges_penalty(self):
+        cfg = PipelineConfig()
+        pipe = CorePipeline(cfg)
+        pc = 0x4000
+        for _ in range(8):
+            pipe.branch_cycles(pc, True)  # train taken
+        hit = pipe.branch_cycles(pc, True)
+        miss = pipe.branch_cycles(pc, False)
+        assert hit == 1
+        assert miss == 1 + cfg.mispredict_penalty

@@ -1,0 +1,127 @@
+"""Tests for B+-tree cursors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.minidb import Database, MiniDBError
+
+
+def tree_with(n=40, page_size=256):
+    db = Database(page_size=page_size)
+    t = db.create_table("t")
+    for i in range(n):
+        t.insert((i,), i * 10)
+    return t
+
+
+class TestSeek:
+    def test_seek_exact(self):
+        t = tree_with()
+        with t.cursor() as cur:
+            assert cur.seek((7,))
+            assert cur.current() == ((7,), 70)
+
+    def test_seek_range_lands_on_next(self):
+        t = tree_with()
+        t.delete((7,))
+        with t.cursor() as cur:
+            assert cur.seek((7,))
+            assert cur.current()[0] == (8,)
+
+    def test_seek_past_end(self):
+        t = tree_with(n=5)
+        with t.cursor() as cur:
+            assert not cur.seek((99,))
+            assert not cur.valid
+
+    def test_first(self):
+        t = tree_with()
+        with t.cursor() as cur:
+            assert cur.first()
+            assert cur.current()[0] == (0,)
+
+    def test_empty_tree(self):
+        db = Database()
+        t = db.create_table("t")
+        with t.cursor() as cur:
+            assert not cur.first()
+
+
+class TestStepping:
+    def test_full_forward_walk(self):
+        t = tree_with(n=60)  # multiple leaves at page_size 256
+        assert t.height > 1
+        with t.cursor() as cur:
+            keys = []
+            ok = cur.first()
+            while ok:
+                keys.append(cur.current()[0][0])
+                ok = cur.next()
+            assert keys == list(range(60))
+
+    def test_full_backward_walk(self):
+        t = tree_with(n=60)
+        with t.cursor() as cur:
+            assert cur.seek((59,))
+            keys = []
+            ok = True
+            while ok:
+                keys.append(cur.current()[0][0])
+                ok = cur.prev()
+            assert keys == list(range(59, -1, -1))
+
+    def test_ping_pong(self):
+        t = tree_with(n=30)
+        with t.cursor() as cur:
+            cur.seek((10,))
+            cur.next()
+            cur.prev()
+            assert cur.current()[0] == (10,)
+
+    def test_prev_before_start(self):
+        t = tree_with(n=5)
+        with t.cursor() as cur:
+            cur.first()
+            assert not cur.prev()
+            assert not cur.valid
+
+    def test_unpositioned_cursor_raises(self):
+        t = tree_with(n=3)
+        cur = t.cursor()
+        with pytest.raises(MiniDBError):
+            cur.next()
+        with pytest.raises(MiniDBError):
+            cur.current()
+
+    def test_close_releases_pins(self):
+        t = tree_with(n=30)
+        cur = t.cursor()
+        cur.first()
+        page_id = cur._page.page_id
+        cur.close()
+        assert t.pool.pin_count(page_id) == 0
+
+    def test_seek_reanchors_after_mutation(self):
+        t = tree_with(n=20)
+        with t.cursor() as cur:
+            cur.seek((5,))
+            t.insert((100,), 1000)
+            assert cur.seek((100,))
+            assert cur.current() == ((100,), 1000)
+
+    @given(st.lists(st.integers(0, 200), unique=True, min_size=1,
+                    max_size=80))
+    @settings(max_examples=25, deadline=None)
+    def test_walk_matches_sorted_keys(self, keys):
+        db = Database(page_size=256)
+        t = db.create_table("t")
+        for k in keys:
+            t.insert((k,), k)
+        with t.cursor() as cur:
+            seen = []
+            ok = cur.first()
+            while ok:
+                seen.append(cur.current()[0][0])
+                ok = cur.next()
+        assert seen == sorted(keys)

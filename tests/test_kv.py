@@ -1,0 +1,131 @@
+"""Tests for the key-value workload (paper §1.3 second domain)."""
+
+import random
+
+import pytest
+
+from repro.harness import run_kv_study
+from repro.kv import KVSpec, ZipfSampler, generate_kv_workload
+from repro.sim import ExecutionMode, Machine, MachineConfig
+
+
+class TestZipfSampler:
+    def test_rank_zero_is_hottest(self):
+        rng = random.Random(1)
+        sampler = ZipfSampler(100, theta=1.2, rng=rng)
+        counts = [0] * 100
+        for _ in range(3000):
+            counts[sampler.sample()] += 1
+        assert counts[0] == max(counts)
+        assert counts[0] > 5 * (sum(counts[50:]) / 50 + 1)
+
+    def test_theta_zero_is_uniformish(self):
+        rng = random.Random(2)
+        sampler = ZipfSampler(50, theta=0.0, rng=rng)
+        counts = [0] * 50
+        for _ in range(5000):
+            counts[sampler.sample()] += 1
+        assert max(counts) < 3 * (5000 / 50)
+
+    def test_samples_in_range(self):
+        rng = random.Random(3)
+        sampler = ZipfSampler(10, theta=0.9, rng=rng)
+        assert all(0 <= sampler.sample() < 10 for _ in range(500))
+
+    def test_empty_keyspace_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, theta=1.0, rng=random.Random(0))
+
+
+class TestKVSpec:
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            KVSpec(update_fraction=0.9, insert_fraction=0.2)
+
+
+class TestGeneration:
+    def test_trace_structure(self):
+        gw = generate_kv_workload(
+            KVSpec(n_keys=60, ops_per_batch=12, ops_per_epoch=4),
+            n_batches=2,
+        )
+        assert len(gw.trace.transactions) == 2
+        assert gw.trace.epoch_count() == 2 * 3  # 12 ops / 4 per epoch
+        assert gw.operations == 24
+        gw.db.check_invariants()
+
+    def test_sequential_mode_has_no_epochs(self):
+        gw = generate_kv_workload(
+            KVSpec(n_keys=60, ops_per_batch=12), tls_mode=False,
+            n_batches=1,
+        )
+        assert gw.trace.epoch_count() == 0
+
+    def test_deterministic(self):
+        spec = KVSpec(n_keys=60)
+        a = generate_kv_workload(spec, n_batches=2, seed=5)
+        b = generate_kv_workload(spec, n_batches=2, seed=5)
+        assert a.trace.instruction_count == b.trace.instruction_count
+
+    def test_updates_bump_versions(self):
+        spec = KVSpec(n_keys=40, update_fraction=1.0, insert_fraction=0.0,
+                      scan_fraction=0.0, ops_per_batch=20)
+        gw = generate_kv_workload(spec, n_batches=1)
+        versions = [
+            v["version"] for _, v in gw.db.table("kv").scan_range((-1,))
+        ]
+        assert sum(versions) == 20
+
+    def test_simulates_cleanly(self):
+        gw = generate_kv_workload(KVSpec(n_keys=60), n_batches=2)
+        stats = Machine(
+            MachineConfig.for_mode(ExecutionMode.BASELINE)
+        ).run(gw.trace)
+        assert stats.epochs_committed == stats.epochs_total
+
+
+class TestKVStudy:
+    def test_skew_sweep_shape(self):
+        result = run_kv_study(
+            thetas=(0.0, 1.3),
+            n_batches=2,
+            spec=KVSpec(n_keys=80, ops_per_batch=24, ops_per_epoch=6),
+        )
+        uniform = result.point(0.0)
+        skewed = result.point(1.3)
+        # Skew creates dependences: violations rise.
+        assert skewed.baseline_violations >= uniform.baseline_violations
+        # Sub-threads at least match all-or-nothing at every skew.
+        for p in result.points:
+            assert p.baseline_speedup >= p.no_subthread_speedup * 0.97
+            assert p.no_speculation_speedup >= p.baseline_speedup * 0.97
+        assert "E11" in result.render()
+
+
+class TestYCSBPresets:
+    def test_presets_exist(self):
+        from repro.kv import ycsb_preset
+
+        a = ycsb_preset("a")
+        assert a.update_fraction == 0.5
+        c = ycsb_preset("C")
+        assert c.update_fraction == 0.0
+        e = ycsb_preset("E")
+        assert e.scan_fraction == 0.95
+
+    def test_unknown_preset_rejected(self):
+        from repro.kv import ycsb_preset
+
+        with pytest.raises(ValueError):
+            ycsb_preset("Z")
+
+    def test_preset_workloads_generate(self):
+        from repro.kv import generate_kv_workload, ycsb_preset
+        from dataclasses import replace
+
+        for name in "ABCDE":
+            spec = replace(ycsb_preset(name), n_keys=40,
+                           ops_per_batch=12, ops_per_epoch=4)
+            gw = generate_kv_workload(spec, n_batches=1)
+            assert gw.operations == 12
+            gw.db.check_invariants()

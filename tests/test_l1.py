@@ -1,0 +1,78 @@
+"""Tests for the write-through L1 with speculative-line tracking."""
+
+from repro.memory.cache import CacheGeometry
+from repro.memory.l1 import L1Cache
+
+
+def make_l1(size=1024, assoc=2, line=32):
+    return L1Cache(CacheGeometry(size_bytes=size, assoc=assoc,
+                                 line_size=line))
+
+
+class TestL1Basics:
+    def test_miss_then_hit(self):
+        l1 = make_l1()
+        assert not l1.access(0x100)
+        l1.fill(0x100, spec=False)
+        assert l1.access(0x100)
+        assert l1.hits == 1 and l1.misses == 1
+
+    def test_fill_evicts_lru(self):
+        l1 = make_l1(size=64, assoc=2)  # single set
+        l1.fill(0x000, spec=False)
+        l1.fill(0x020, spec=False)
+        evicted = l1.fill(0x040, spec=False)
+        assert evicted.tag == 0x000
+
+    def test_refill_merges_spec_flag(self):
+        l1 = make_l1()
+        l1.fill(0x100, spec=False)
+        l1.fill(0x100, spec=True)
+        line = l1.lookup(0x100)
+        assert line.spec
+
+    def test_invalidate(self):
+        l1 = make_l1()
+        l1.fill(0x100, spec=False)
+        assert l1.invalidate(0x100)
+        assert not l1.access(0x100)
+
+
+class TestSpeculativeMarks:
+    def test_mark_spec_and_notified(self):
+        l1 = make_l1()
+        l1.fill(0x100, spec=True)
+        assert not l1.is_notified(0x100)
+        l1.mark_spec(0x100, notified=True)
+        assert l1.is_notified(0x100)
+
+    def test_flash_invalidate_drops_only_spec_lines(self):
+        l1 = make_l1()
+        l1.fill(0x100, spec=True)
+        l1.fill(0x200, spec=False)
+        l1.fill(0x300, spec=True)
+        dropped = l1.flash_invalidate_spec()
+        assert dropped == 2
+        assert not l1.access(0x100)
+        assert l1.access(0x200)
+        assert l1.spec_invalidations == 2
+
+    def test_clear_spec_marks_keeps_lines(self):
+        l1 = make_l1()
+        l1.fill(0x100, spec=True)
+        l1.mark_spec(0x100, notified=True)
+        l1.clear_spec_marks()
+        assert l1.access(0x100)  # line stays resident
+        assert not l1.is_notified(0x100)
+        assert l1.spec_lines() == []
+
+    def test_spec_lines_listing(self):
+        l1 = make_l1()
+        l1.fill(0x100, spec=True)
+        l1.fill(0x200, spec=False)
+        assert [l.tag for l in l1.spec_lines()] == [0x100]
+
+    def test_mark_spec_on_absent_line_is_noop(self):
+        l1 = make_l1()
+        l1.mark_spec(0x500, notified=True)
+        assert not l1.is_notified(0x500)

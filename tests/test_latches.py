@@ -1,0 +1,99 @@
+"""Tests for the latch table (escaped-speculation synchronization)."""
+
+from repro.core.latches import LatchTable
+
+
+class Owner:
+    def __init__(self, name):
+        self.name = name
+
+    def __repr__(self):
+        return f"Owner({self.name})"
+
+
+class TestLatchTable:
+    def test_acquire_free(self):
+        t = LatchTable()
+        a = Owner("a")
+        assert t.try_acquire(1, a)
+        assert t.holder_of(1) is a
+
+    def test_reentrant_acquire(self):
+        t = LatchTable()
+        a = Owner("a")
+        assert t.try_acquire(1, a)
+        assert t.try_acquire(1, a)
+        # Needs two releases.
+        assert t.release(1, a) is None
+        assert t.holder_of(1) is a
+        t.release(1, a)
+        assert t.holder_of(1) is None
+
+    def test_contended_acquire_enqueues(self):
+        t = LatchTable()
+        a, b = Owner("a"), Owner("b")
+        t.try_acquire(1, a)
+        assert not t.try_acquire(1, b)
+        assert t.waiters_of(1) == [b]
+        assert t.contended_acquisitions == 1
+
+    def test_release_grants_first_waiter(self):
+        t = LatchTable()
+        a, b, c = Owner("a"), Owner("b"), Owner("c")
+        t.try_acquire(1, a)
+        t.try_acquire(1, b)
+        t.try_acquire(1, c)
+        granted = t.release(1, a)
+        assert granted is b
+        assert t.holder_of(1) is b
+        assert t.waiters_of(1) == [c]
+
+    def test_release_not_held_is_ignored(self):
+        t = LatchTable()
+        a, b = Owner("a"), Owner("b")
+        t.try_acquire(1, a)
+        assert t.release(1, b) is None
+        assert t.holder_of(1) is a
+
+    def test_cancel_wait(self):
+        t = LatchTable()
+        a, b = Owner("a"), Owner("b")
+        t.try_acquire(1, a)
+        t.try_acquire(1, b)
+        t.cancel_wait(1, b)
+        assert t.release(1, a) is None
+        assert t.holder_of(1) is None
+
+    def test_release_all_compensation(self):
+        t = LatchTable()
+        a, b, c = Owner("a"), Owner("b"), Owner("c")
+        t.try_acquire(1, a)
+        t.try_acquire(2, a)
+        t.try_acquire(1, b)
+        t.try_acquire(2, c)
+        winners = t.release_all([1, 2], a)
+        assert winners == [b, c]
+        assert t.holder_of(1) is b and t.holder_of(2) is c
+
+    def test_release_all_skips_latches_not_held(self):
+        t = LatchTable()
+        a, b = Owner("a"), Owner("b")
+        t.try_acquire(1, b)
+        winners = t.release_all([1], a)
+        assert winners == []
+        assert t.holder_of(1) is b
+
+    def test_held_by(self):
+        t = LatchTable()
+        a = Owner("a")
+        t.try_acquire(1, a)
+        t.try_acquire(5, a)
+        assert sorted(t.held_by(a)) == [1, 5]
+
+    def test_duplicate_wait_not_enqueued_twice(self):
+        t = LatchTable()
+        a, b = Owner("a"), Owner("b")
+        t.try_acquire(1, a)
+        t.try_acquire(1, b)
+        t.try_acquire(1, b)
+        assert t.waiters_of(1) == [b]

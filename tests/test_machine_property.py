@@ -1,0 +1,131 @@
+"""Property-based tests: the machine survives arbitrary workloads and its
+invariants hold regardless of interleaving."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.accounting import Category
+from repro.sim import ExecutionMode, Machine, MachineConfig
+from repro.trace.events import (
+    EpochTrace,
+    ParallelRegion,
+    Rec,
+    SerialSegment,
+    TransactionTrace,
+    WorkloadTrace,
+)
+
+BASE = 0x1000_0000
+LINES = 8  # small shared address pool -> plenty of conflicts
+
+
+@st.composite
+def epoch_records(draw):
+    """A random epoch: computes, loads/stores on a small address pool,
+    and balanced latch critical sections (ordered ids, no nesting
+    inversions — the discipline the trace generator guarantees)."""
+    n_ops = draw(st.integers(min_value=1, max_value=12))
+    records = []
+    for _ in range(n_ops):
+        kind = draw(st.sampled_from(["compute", "load", "store", "latch"]))
+        if kind == "compute":
+            records.append((Rec.COMPUTE, draw(st.integers(1, 800))))
+        elif kind == "load":
+            line = draw(st.integers(0, LINES - 1))
+            records.append((Rec.LOAD, BASE + 32 * line, 4, 0x400000))
+        elif kind == "store":
+            line = draw(st.integers(0, LINES - 1))
+            records.append((Rec.STORE, BASE + 32 * line, 4, 0x400100))
+        else:
+            latch = draw(st.integers(0, 2))
+            records.append((Rec.LATCH_ACQ, latch, 0x400200))
+            records.append((Rec.COMPUTE, draw(st.integers(1, 200))))
+            records.append((Rec.LATCH_REL, latch))
+    return records
+
+
+@st.composite
+def workloads(draw):
+    n_epochs = draw(st.integers(min_value=1, max_value=6))
+    epochs = [
+        EpochTrace(epoch_id=i, records=draw(epoch_records()))
+        for i in range(n_epochs)
+    ]
+    segments = []
+    if draw(st.booleans()):
+        segments.append(
+            SerialSegment(records=[(Rec.COMPUTE, draw(st.integers(1, 500)))])
+        )
+    segments.append(ParallelRegion(epochs=epochs))
+    txn = TransactionTrace(name="t", segments=segments)
+    return WorkloadTrace(name="w", transactions=[txn]), n_epochs
+
+
+class TestRandomWorkloads:
+    @given(data=workloads())
+    @settings(max_examples=60, deadline=None)
+    def test_baseline_mode_terminates_consistently(self, data):
+        wl, n_epochs = data
+        machine = Machine(
+            MachineConfig.for_mode(ExecutionMode.BASELINE).with_tls(
+                subthread_spacing=100
+            )
+        )
+        stats = machine.run(wl)
+        # Every epoch (plus any serial pseudo-epoch) commits exactly once.
+        assert stats.epochs_committed == stats.epochs_total
+        assert stats.epochs_committed >= n_epochs
+        # Accounting identity: every CPU-cycle is attributed.
+        for counters in stats.per_cpu:
+            assert counters.total() == pytest.approx(
+                stats.total_cycles, rel=1e-6, abs=1e-6
+            )
+        # Protocol state drained: no residual speculative state in the L2.
+        assert machine.l2.speculative_entries() == []
+        machine.l2.check_invariants()
+        # All latches released.
+        for state in machine.latches._latches.values():
+            assert state.holder is None and not state.waiters
+
+    @given(data=workloads())
+    @settings(max_examples=30, deadline=None)
+    def test_all_or_nothing_never_beats_more_contexts_much(self, data):
+        """Sanity: with identical traces, all-or-nothing may tie but not
+        dramatically beat sub-threads (rewinds only shrink)."""
+        wl, _ = data
+        nosub = Machine(
+            MachineConfig.for_mode(ExecutionMode.NO_SUBTHREAD)
+        ).run(wl)
+        sub = Machine(
+            MachineConfig.for_mode(ExecutionMode.BASELINE).with_tls(
+                subthread_spacing=100
+            )
+        ).run(wl)
+        assert sub.total_cycles <= nosub.total_cycles * 1.35
+
+    @given(data=workloads())
+    @settings(max_examples=30, deadline=None)
+    def test_no_speculation_never_violates(self, data):
+        wl, _ = data
+        stats = Machine(
+            MachineConfig.for_mode(ExecutionMode.NO_SPECULATION)
+        ).run(wl)
+        assert stats.primary_violations == 0
+        assert stats.breakdown().get(Category.FAILED) == 0
+
+    @given(data=workloads())
+    @settings(max_examples=30, deadline=None)
+    def test_modes_agree_on_work_done(self, data):
+        """Committed epochs are identical across hardware modes."""
+        wl, _ = data
+        counts = set()
+        for mode in (
+            ExecutionMode.TLS_SEQ,
+            ExecutionMode.NO_SUBTHREAD,
+            ExecutionMode.BASELINE,
+            ExecutionMode.NO_SPECULATION,
+        ):
+            stats = Machine(MachineConfig.for_mode(mode)).run(wl)
+            counts.add(stats.epochs_committed)
+        assert len(counts) == 1

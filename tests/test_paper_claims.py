@@ -1,0 +1,146 @@
+"""End-to-end assertions of the paper's headline claims (scaled).
+
+These tests pin the *shape* of the reproduction — who wins, roughly by
+how much — at the default (non-tiny) scale with a small transaction
+count, so they stay meaningful but fast.  Absolute factors are asserted
+with generous margins; see EXPERIMENTS.md for the measured values.
+"""
+
+import pytest
+
+from repro.core.accounting import Category
+from repro.harness import ExperimentContext, mode_trace, run_mode
+from repro.sim import ExecutionMode
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(n_transactions=3)
+
+
+def speedups(ctx, benchmark):
+    seq = run_mode(
+        mode_trace(ctx, benchmark, ExecutionMode.SEQUENTIAL),
+        ExecutionMode.SEQUENTIAL,
+    )
+    out = {"sequential_stats": seq}
+    for mode in (
+        ExecutionMode.TLS_SEQ,
+        ExecutionMode.NO_SUBTHREAD,
+        ExecutionMode.BASELINE,
+        ExecutionMode.NO_SPECULATION,
+    ):
+        stats = run_mode(mode_trace(ctx, benchmark, mode), mode)
+        out[mode] = seq.total_cycles / stats.total_cycles
+        out[mode + "_stats"] = stats
+    return out
+
+
+@pytest.fixture(scope="module")
+def new_order(ctx):
+    return speedups(ctx, "new_order")
+
+
+@pytest.fixture(scope="module")
+def new_order_150(ctx):
+    return speedups(ctx, "new_order_150")
+
+
+@pytest.fixture(scope="module")
+def delivery_outer(ctx):
+    return speedups(ctx, "delivery_outer")
+
+
+@pytest.fixture(scope="module")
+def stock_level(ctx):
+    return speedups(ctx, "stock_level")
+
+
+@pytest.fixture(scope="module")
+def payment(ctx):
+    return speedups(ctx, "payment")
+
+
+class TestHeadlineSpeedups:
+    def test_three_transactions_speed_up_substantially(
+        self, new_order, delivery_outer, stock_level
+    ):
+        """Paper: 1.9x-2.9x for three of the five transactions."""
+        for result in (new_order, delivery_outer, stock_level):
+            assert result[ExecutionMode.BASELINE] > 1.5
+
+    def test_payment_does_not_profit(self, payment):
+        """Paper: PAYMENT lacks parallelism -> no meaningful gain."""
+        assert payment[ExecutionMode.BASELINE] < 1.45
+
+    def test_tls_seq_software_overhead_in_band(
+        self, new_order, delivery_outer, payment
+    ):
+        """Paper: TLS software transformation costs 0.93x-1.05x."""
+        for result in (new_order, delivery_outer, payment):
+            assert 0.85 <= result[ExecutionMode.TLS_SEQ] <= 1.15
+
+    def test_no_speculation_is_upper_bound(
+        self, new_order, new_order_150, delivery_outer, stock_level
+    ):
+        for result in (new_order, new_order_150, delivery_outer,
+                       stock_level):
+            assert (
+                result[ExecutionMode.NO_SPECULATION]
+                >= result[ExecutionMode.BASELINE] * 0.97
+            )
+
+
+class TestSubThreadClaims:
+    def test_subthreads_beat_all_or_nothing(
+        self, new_order, new_order_150, delivery_outer
+    ):
+        for result in (new_order, new_order_150, delivery_outer):
+            assert (
+                result[ExecutionMode.BASELINE]
+                >= result[ExecutionMode.NO_SUBTHREAD]
+            )
+
+    def test_all_or_nothing_useless_for_many_dependent_threads(
+        self, new_order_150
+    ):
+        """Paper: with large, frequently-dependent threads the
+        all-or-nothing approach yields very little gain, while
+        sub-threads recover most of it."""
+        assert new_order_150[ExecutionMode.NO_SUBTHREAD] < 1.55
+        assert (
+            new_order_150[ExecutionMode.BASELINE]
+            > new_order_150[ExecutionMode.NO_SUBTHREAD] + 0.2
+        )
+
+    def test_subthreads_cut_failed_cycles(self, new_order_150):
+        nosub = new_order_150[ExecutionMode.NO_SUBTHREAD + "_stats"]
+        sub = new_order_150[ExecutionMode.BASELINE + "_stats"]
+        assert (
+            sub.breakdown().get(Category.FAILED)
+            < nosub.breakdown().get(Category.FAILED)
+        )
+
+    def test_violations_exist_and_are_tolerated(self, new_order_150):
+        sub = new_order_150[ExecutionMode.BASELINE + "_stats"]
+        assert sub.primary_violations > 0
+        assert sub.epochs_committed == sub.epochs_total
+
+
+class TestBreakdownShapes:
+    def test_sequential_idles_three_cpus(self, new_order):
+        seq = new_order["sequential_stats"]
+        frac = seq.breakdown_fractions()
+        assert frac[Category.IDLE] > 0.70
+        assert frac[Category.FAILED] == 0.0
+
+    def test_no_speculation_never_fails(self, delivery_outer):
+        stats = delivery_outer[ExecutionMode.NO_SPECULATION + "_stats"]
+        assert stats.breakdown().get(Category.FAILED) == 0.0
+        assert stats.primary_violations == 0
+
+    def test_stock_level_is_read_mostly(self, stock_level):
+        """STOCK LEVEL's baseline run violates rarely (read-only body)."""
+        stats = stock_level[ExecutionMode.BASELINE + "_stats"]
+        per_epoch = stats.primary_violations / max(1, stats.epochs_total)
+        assert per_epoch < 1.0

@@ -1,0 +1,361 @@
+"""Tests for violating-load prediction and its two machine policies."""
+
+import pytest
+
+from repro.core.accounting import Category
+from repro.core.prediction import ViolatingLoadPredictor
+from repro.harness import run_l1_tracking_ablation, run_prediction_comparison
+from repro.harness.runner import ExperimentContext
+from repro.sim import ExecutionMode, Machine, MachineConfig
+from repro.tpcc import TPCCScale
+from repro.trace.events import (
+    EpochTrace,
+    ParallelRegion,
+    Rec,
+    TransactionTrace,
+    WorkloadTrace,
+)
+
+A = 0x1000_0000
+PC_STORE = 0x40_0000
+PC_LOAD = 0x40_0100
+
+
+class TestPredictorUnit:
+    def test_trains_to_threshold(self):
+        p = ViolatingLoadPredictor(threshold=2)
+        p.train(0x10)
+        assert not p.predicts_violation(0x10)
+        p.train(0x10)
+        assert p.predicts_violation(0x10)
+
+    def test_ignores_unknown_pc(self):
+        p = ViolatingLoadPredictor()
+        assert not p.predicts_violation(0x99)
+
+    def test_none_training_is_noop(self):
+        p = ViolatingLoadPredictor()
+        p.train(None)
+        assert len(p) == 0
+
+    def test_cooling_removes_entries(self):
+        p = ViolatingLoadPredictor(threshold=1)
+        p.train(0x10)
+        p.cool(0x10)
+        assert not p.predicts_violation(0x10)
+        p.cool(0x10)  # idempotent on absent pcs
+
+    def test_confidence_saturates(self):
+        p = ViolatingLoadPredictor(max_confidence=2)
+        for _ in range(10):
+            p.train(0x10)
+        assert p.tracked_pcs()[0x10] == 2
+
+    def test_capacity_evicts_weakest(self):
+        p = ViolatingLoadPredictor(capacity=2)
+        p.train(0x10)
+        p.train(0x10)   # strong
+        p.train(0x20)   # weak
+        p.train(0x30)   # evicts 0x20
+        assert 0x10 in p.tracked_pcs()
+        assert 0x20 not in p.tracked_pcs()
+        assert 0x30 in p.tracked_pcs()
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            ViolatingLoadPredictor(threshold=0)
+
+    def test_hit_statistics(self):
+        p = ViolatingLoadPredictor()
+        p.train(0x10)
+        p.predicts_violation(0x10)
+        p.predicts_violation(0x20)
+        assert p.predictions == 2 and p.hits == 1
+
+
+def dependent_workload(n_pairs=4, early=100, late=3000):
+    """Repeated two-epoch regions with the same violating load PC, so
+    the predictor has something to learn across regions."""
+    txns = []
+    for _ in range(n_pairs):
+        e0 = EpochTrace(0, [(Rec.COMPUTE, 3500), (Rec.STORE, A, 4, PC_STORE)])
+        e1 = EpochTrace(1, [
+            (Rec.COMPUTE, early),
+            (Rec.LOAD, A, 4, PC_LOAD),
+            (Rec.COMPUTE, late),
+        ])
+        txns.append(
+            TransactionTrace(name="t",
+                             segments=[ParallelRegion(epochs=[e0, e1])])
+        )
+    return WorkloadTrace(name="w", transactions=txns)
+
+
+class TestSyncPolicy:
+    def test_synchronization_removes_repeat_violations(self):
+        wl = dependent_workload()
+        plain = Machine(
+            MachineConfig.for_mode(ExecutionMode.NO_SUBTHREAD)
+        ).run(wl)
+        synced = Machine(
+            MachineConfig.for_mode(ExecutionMode.NO_SUBTHREAD).with_tls(
+                sync_predicted_loads=True
+            )
+        ).run(wl)
+        # First region trains the predictor; later regions synchronize.
+        assert synced.primary_violations < plain.primary_violations
+        assert synced.breakdown().get(Category.SYNC) > 0
+
+    def test_synchronized_run_commits_everything(self):
+        wl = dependent_workload()
+        stats = Machine(
+            MachineConfig().with_tls(sync_predicted_loads=True)
+        ).run(wl)
+        assert stats.epochs_committed == stats.epochs_total
+
+    def test_oldest_epoch_never_synchronizes(self):
+        # Single-epoch regions: the only epoch is homefree, so the
+        # predictor must never stall it.
+        e0 = EpochTrace(0, [(Rec.LOAD, A, 4, PC_LOAD), (Rec.COMPUTE, 100)])
+        wl = WorkloadTrace(
+            name="w",
+            transactions=[
+                TransactionTrace(
+                    name="t", segments=[ParallelRegion(epochs=[e0])]
+                )
+            ],
+        )
+        cfg = MachineConfig().with_tls(sync_predicted_loads=True)
+        machine = Machine(cfg)
+        machine.engine.load_predictor.train(PC_LOAD)
+        stats = machine.run(wl)
+        assert stats.breakdown().get(Category.SYNC) == 0
+
+
+class TestPredictorPlacedSubthreads:
+    def test_checkpoint_lands_before_predicted_load(self):
+        wl = dependent_workload(n_pairs=4, early=2000, late=3000)
+        cfg = MachineConfig().with_tls(
+            predictor_subthreads=True,
+            subthread_spacing=1_000_000_000,  # periodic policy off
+        )
+        machine = Machine(cfg)
+        stats = machine.run(wl)
+        # After the first (unpredicted) violation, later regions place a
+        # checkpoint at the load: failed work per violation collapses.
+        nosub = Machine(
+            MachineConfig.for_mode(ExecutionMode.NO_SUBTHREAD)
+        ).run(wl)
+        assert (
+            stats.breakdown().get(Category.FAILED)
+            < nosub.breakdown().get(Category.FAILED)
+        )
+        assert stats.subthreads_started > stats.epochs_total
+
+    def test_min_gap_limits_context_burn(self):
+        wl = dependent_workload()
+        cfg = MachineConfig().with_tls(
+            predictor_subthreads=True,
+            predictor_min_gap=10**9,
+            subthread_spacing=1_000_000_000,
+        )
+        stats = Machine(cfg).run(wl)
+        # Gap too large: only the initial sub-thread per epoch.
+        assert stats.subthreads_started == stats.epochs_total
+
+
+class TestHarnessExtensions:
+    @pytest.fixture(scope="class")
+    def ctx(self):
+        return ExperimentContext(n_transactions=2, scale=TPCCScale.tiny())
+
+    def test_prediction_comparison_runs(self, ctx):
+        result = run_prediction_comparison(ctx, benchmark="new_order")
+        assert len(result.points) == 6
+        sync_point = result.point("all-or-nothing + sync predictor")
+        plain = result.point("all-or-nothing")
+        # The paper's finding: synchronization trades failed speculation
+        # for stall (at tiny scale the trade shows up on at least one
+        # side; the robust magnitude test is the new_order_150 bench).
+        assert (
+            sync_point.violations <= plain.violations
+            or sync_point.sync_fraction >= plain.sync_fraction
+        )
+        best_subthread = result.point("sub-threads (periodic, paper)")
+        assert best_subthread.speedup >= sync_point.speedup * 0.90
+        assert "E8" in result.render()
+
+    def test_l1_tracking_ablation_runs(self, ctx):
+        result = run_l1_tracking_ablation(ctx, benchmark="new_order")
+        unaware, tracking = result.points
+        # Tracking can only reduce invalidations.
+        assert tracking.extra["l1_spec_invalidations"] <= unaware.extra[
+            "l1_spec_invalidations"
+        ]
+
+
+class TestL1SubthreadTracking:
+    def test_partial_invalidate_preserves_early_lines(self):
+        from repro.memory.cache import CacheGeometry
+        from repro.memory.l1 import L1Cache
+
+        l1 = L1Cache(CacheGeometry(size_bytes=1024, assoc=2, line_size=32))
+        l1.fill(0x100, spec=True, subidx=0)
+        l1.fill(0x200, spec=True, subidx=2)
+        l1.fill(0x300, spec=True, subidx=3)
+        dropped = l1.flash_invalidate_spec(from_subidx=2)
+        assert dropped == 2
+        assert l1.access(0x100)
+        assert not l1.access(0x200)
+
+    def test_subidx_tracks_maximum(self):
+        from repro.memory.cache import CacheGeometry
+        from repro.memory.l1 import L1Cache
+
+        l1 = L1Cache(CacheGeometry(size_bytes=1024, assoc=2, line_size=32))
+        l1.fill(0x100, spec=True, subidx=1)
+        l1.mark_spec(0x100, notified=False, subidx=3)
+        l1.fill(0x100, spec=True, subidx=2)  # refill must not regress
+        assert l1.lookup(0x100).subidx == 3
+
+    def test_machine_runs_with_tracking_enabled(self):
+        from dataclasses import replace
+
+        wl = dependent_workload(n_pairs=2)
+        cfg = replace(
+            MachineConfig.for_mode(ExecutionMode.BASELINE),
+            l1_subthread_tracking=True,
+        )
+        stats = Machine(cfg).run(wl)
+        assert stats.epochs_committed == stats.epochs_total
+
+
+class TestAdaptiveSpacing:
+    def test_spacing_for_divides_thread(self):
+        from repro.core.engine import TLSConfig, TLSEngine
+        from repro.memory.cache import CacheGeometry
+        from repro.memory.l2 import SpeculativeL2
+        from repro.trace.events import EpochTrace, Rec
+
+        tls = TLSConfig(adaptive_spacing=True, max_subthreads=8)
+        geom = CacheGeometry(size_bytes=32 * 1024, assoc=4, line_size=32)
+        l2 = SpeculativeL2(geom, directory=None)
+        engine = TLSEngine(l2, n_cpus=4, config=tls)
+        l2.directory = engine
+        trace = EpochTrace(0, [(Rec.COMPUTE, 8000)])
+        epoch = engine.start_epoch(trace, cpu=0, now=0.0)
+        assert engine.spacing_for(epoch) == 1000
+
+    def test_spacing_floor(self):
+        from repro.core.engine import TLSConfig, TLSEngine
+        from repro.memory.cache import CacheGeometry
+        from repro.memory.l2 import SpeculativeL2
+        from repro.trace.events import EpochTrace, Rec
+
+        tls = TLSConfig(adaptive_spacing=True, adaptive_spacing_min=50)
+        geom = CacheGeometry(size_bytes=32 * 1024, assoc=4, line_size=32)
+        l2 = SpeculativeL2(geom, directory=None)
+        engine = TLSEngine(l2, n_cpus=4, config=tls)
+        l2.directory = engine
+        trace = EpochTrace(0, [(Rec.COMPUTE, 10)])
+        epoch = engine.start_epoch(trace, cpu=0, now=0.0)
+        assert engine.spacing_for(epoch) == 50
+
+    def test_adaptive_run_commits_everything(self):
+        from repro.sim import Machine, MachineConfig
+
+        wl = dependent_workload(n_pairs=2)
+        stats = Machine(
+            MachineConfig().with_tls(adaptive_spacing=True)
+        ).run(wl)
+        assert stats.epochs_committed == stats.epochs_total
+
+    def test_ablation_driver(self):
+        from repro.harness import run_adaptive_spacing_ablation
+        from repro.harness.runner import ExperimentContext
+        from repro.tpcc import TPCCScale
+
+        ctx = ExperimentContext(n_transactions=2, scale=TPCCScale.tiny())
+        result = run_adaptive_spacing_ablation(
+            ctx, benchmarks=("new_order",)
+        )
+        assert result.points[0].extra["adaptive_gain"] > 0
+
+
+class TestScalability:
+    def test_sweep_shape(self):
+        from repro.harness import run_scalability
+        from repro.harness.runner import ExperimentContext
+        from repro.tpcc import TPCCScale
+
+        ctx = ExperimentContext(n_transactions=2, scale=TPCCScale.tiny())
+        result = run_scalability(
+            ctx, benchmark="new_order", cpu_counts=(1, 4)
+        )
+        one = result.point(1)
+        four = result.point(4)
+        # One CPU cannot speed up (TLS-SEQ overhead band).
+        assert 0.80 <= one.baseline_speedup <= 1.15
+        # Four CPUs must do at least as well as one.
+        assert four.baseline_speedup >= one.baseline_speedup * 0.95
+        assert "E9" in result.render()
+
+    def test_wide_machine_runs(self):
+        """8-CPU machine with an 8-arena trace completes cleanly."""
+        from dataclasses import replace
+
+        from repro.sim import Machine, MachineConfig
+        from repro.tpcc import TPCCScale, generate_workload
+
+        gw = generate_workload(
+            "new_order", n_transactions=1, scale=TPCCScale.tiny(),
+            n_cpus=8,
+        )
+        stats = Machine(replace(MachineConfig(), n_cpus=8)).run(gw.trace)
+        assert stats.epochs_committed == stats.epochs_total
+        assert stats.n_cpus == 8
+
+
+class TestValuePrediction:
+    def test_correct_predictions_remove_dependences(self):
+        wl = dependent_workload(n_pairs=6)
+        plain = Machine(
+            MachineConfig.for_mode(ExecutionMode.NO_SUBTHREAD)
+        ).run(wl)
+        machine = Machine(
+            MachineConfig.for_mode(ExecutionMode.NO_SUBTHREAD).with_tls(
+                value_predict_loads=True, value_prediction_accuracy=1.0
+            )
+        )
+        perfect = machine.run(wl)
+        # First region trains; afterwards every predicted load hits.
+        assert perfect.primary_violations < plain.primary_violations
+        assert machine.engine.value_predictions_used > 0
+
+    def test_zero_accuracy_changes_nothing(self):
+        wl = dependent_workload(n_pairs=3)
+        plain = Machine(
+            MachineConfig.for_mode(ExecutionMode.NO_SUBTHREAD)
+        ).run(wl)
+        zero = Machine(
+            MachineConfig.for_mode(ExecutionMode.NO_SUBTHREAD).with_tls(
+                value_predict_loads=True, value_prediction_accuracy=0.0
+            )
+        ).run(wl)
+        assert zero.primary_violations == plain.primary_violations
+        assert zero.total_cycles == plain.total_cycles
+
+    def test_draw_is_deterministic(self):
+        wl = dependent_workload(n_pairs=4)
+        cfg = MachineConfig().with_tls(
+            value_predict_loads=True, value_prediction_accuracy=0.5
+        )
+        a = Machine(cfg).run(wl)
+        b = Machine(cfg).run(wl)
+        assert a.total_cycles == b.total_cycles
+        assert a.primary_violations == b.primary_violations
+
+    def test_disabled_by_default(self):
+        from repro.core.engine import TLSConfig
+
+        assert not TLSConfig().value_predict_loads

@@ -1,0 +1,134 @@
+"""Tests for the reader-writer latch table."""
+
+import pytest
+
+from repro.core.rwlatches import READ, WRITE, RWLatchTable
+
+
+class O:
+    def __init__(self, name):
+        self.name = name
+
+    def __repr__(self):
+        return self.name
+
+
+@pytest.fixture
+def t():
+    return RWLatchTable()
+
+
+@pytest.fixture
+def owners():
+    return O("a"), O("b"), O("c")
+
+
+class TestReaders:
+    def test_many_readers_share(self, t, owners):
+        a, b, c = owners
+        assert t.try_acquire(1, a, READ)
+        assert t.try_acquire(1, b, READ)
+        writer, readers = t.holders_of(1)
+        assert writer is None and readers == {a, b}
+
+    def test_reader_reentrant(self, t, owners):
+        a, _, _ = owners
+        assert t.try_acquire(1, a, READ)
+        assert t.try_acquire(1, a, READ)
+
+    def test_reader_blocked_by_writer(self, t, owners):
+        a, b, _ = owners
+        t.try_acquire(1, a, WRITE)
+        assert not t.try_acquire(1, b, READ)
+
+    def test_writer_preference_blocks_new_readers(self, t, owners):
+        a, b, c = owners
+        t.try_acquire(1, a, READ)
+        assert not t.try_acquire(1, b, WRITE)  # waits for reader a
+        assert not t.try_acquire(1, c, READ)   # queued behind writer
+        granted = t.release(1, a)
+        assert granted == [(b, WRITE)]
+        granted = t.release(1, b)
+        assert granted == [(c, READ)]
+
+
+class TestWriters:
+    def test_writer_exclusive(self, t, owners):
+        a, b, _ = owners
+        assert t.try_acquire(1, a, WRITE)
+        assert not t.try_acquire(1, b, WRITE)
+
+    def test_writer_reentrant(self, t, owners):
+        a, _, _ = owners
+        t.try_acquire(1, a, WRITE)
+        assert t.try_acquire(1, a, WRITE)
+        assert t.release(1, a) == []  # one level remains
+        writer, _ = t.holders_of(1)
+        assert writer is a
+        t.release(1, a)
+        assert t.holders_of(1) == (None, set())
+
+    def test_write_implies_read(self, t, owners):
+        a, _, _ = owners
+        t.try_acquire(1, a, WRITE)
+        assert t.try_acquire(1, a, READ)
+
+    def test_sole_reader_upgrades(self, t, owners):
+        a, _, _ = owners
+        t.try_acquire(1, a, READ)
+        assert t.try_acquire(1, a, WRITE)
+        writer, readers = t.holders_of(1)
+        assert writer is a and readers == set()
+
+    def test_upgrade_blocked_with_other_readers(self, t, owners):
+        a, b, _ = owners
+        t.try_acquire(1, a, READ)
+        t.try_acquire(1, b, READ)
+        assert not t.try_acquire(1, a, WRITE)
+
+    def test_bad_mode_rejected(self, t, owners):
+        with pytest.raises(ValueError):
+            t.try_acquire(1, owners[0], "Z")
+
+
+class TestGrantOrder:
+    def test_reader_batch_granted_together(self, t, owners):
+        a, b, c = owners
+        t.try_acquire(1, a, WRITE)
+        t.try_acquire(1, b, READ)
+        t.try_acquire(1, c, READ)
+        granted = t.release(1, a)
+        assert granted == [(b, READ), (c, READ)]
+
+    def test_writer_waits_for_all_readers(self, t, owners):
+        a, b, c = owners
+        t.try_acquire(1, a, READ)
+        t.try_acquire(1, b, READ)
+        t.try_acquire(1, c, WRITE)
+        assert t.release(1, a) == []
+        assert t.release(1, b) == [(c, WRITE)]
+
+    def test_cancel_wait(self, t, owners):
+        a, b, _ = owners
+        t.try_acquire(1, a, WRITE)
+        t.try_acquire(1, b, READ)
+        t.cancel_wait(1, b)
+        assert t.release(1, a) == []
+
+    def test_release_not_held_ignored(self, t, owners):
+        a, b, _ = owners
+        t.try_acquire(1, a, WRITE)
+        assert t.release(1, b) == []
+        assert t.holders_of(1)[0] is a
+
+
+class TestCompensation:
+    def test_release_all_frees_everything(self, t, owners):
+        a, b, c = owners
+        t.try_acquire(1, a, WRITE)
+        t.try_acquire(2, a, READ)
+        t.try_acquire(1, b, WRITE)
+        t.try_acquire(2, c, WRITE)
+        granted = t.release_all([1, 2], a)
+        assert (1, b, WRITE) in granted
+        assert (2, c, WRITE) in granted

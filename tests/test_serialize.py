@@ -1,0 +1,136 @@
+"""Tests for workload-trace serialization."""
+
+import pytest
+
+from repro.sim import ExecutionMode, Machine, MachineConfig
+from repro.tpcc import TPCCScale, generate_workload
+from repro.trace import (
+    load_workload,
+    save_workload,
+    workload_from_dict,
+    workload_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_workload(
+        "new_order", n_transactions=2, scale=TPCCScale.tiny()
+    ).trace
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_structure(self, workload):
+        again = workload_from_dict(workload_to_dict(workload))
+        assert again.name == workload.name
+        assert again.instruction_count == workload.instruction_count
+        assert again.epoch_count() == workload.epoch_count()
+        assert again.coverage == workload.coverage
+
+    def test_records_identical(self, workload):
+        again = workload_from_dict(workload_to_dict(workload))
+        for t1, t2 in zip(workload.transactions, again.transactions):
+            for s1, s2 in zip(t1.segments, t2.segments):
+                if hasattr(s1, "epochs"):
+                    for e1, e2 in zip(s1.epochs, s2.epochs):
+                        assert e1.records == e2.records
+                else:
+                    assert s1.records == s2.records
+
+    def test_file_round_trip(self, workload, tmp_path):
+        path = tmp_path / "trace.json"
+        save_workload(workload, path)
+        again = load_workload(path)
+        assert again.instruction_count == workload.instruction_count
+
+    def test_simulation_of_loaded_trace_is_identical(self, workload,
+                                                     tmp_path):
+        path = tmp_path / "trace.json"
+        save_workload(workload, path)
+        again = load_workload(path)
+        cfg = MachineConfig.for_mode(ExecutionMode.BASELINE)
+        a = Machine(cfg).run(workload)
+        b = Machine(cfg).run(again)
+        assert a.total_cycles == b.total_cycles
+        assert a.primary_violations == b.primary_violations
+
+
+class TestValidation:
+    def test_rejects_foreign_document(self):
+        with pytest.raises(ValueError):
+            workload_from_dict({"format": "something-else"})
+
+    def test_rejects_wrong_version(self, workload):
+        doc = workload_to_dict(workload)
+        doc["version"] = 999
+        with pytest.raises(ValueError):
+            workload_from_dict(doc)
+
+    def test_rejects_unknown_segment_type(self, workload):
+        doc = workload_to_dict(workload)
+        doc["transactions"][0]["segments"][0]["type"] = "mystery"
+        with pytest.raises(ValueError):
+            workload_from_dict(doc)
+
+
+class TestPropertyRoundTrip:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @staticmethod
+    def _records():
+        from hypothesis import strategies as st
+
+        from repro.trace.events import Rec
+
+        return st.lists(
+            st.one_of(
+                st.tuples(st.just(Rec.COMPUTE), st.integers(1, 10_000)),
+                st.tuples(
+                    st.just(Rec.LOAD),
+                    st.integers(0, 2**32),
+                    st.integers(1, 64),
+                    st.integers(0, 2**24),
+                ),
+                st.tuples(
+                    st.just(Rec.STORE),
+                    st.integers(0, 2**32),
+                    st.integers(1, 64),
+                    st.integers(0, 2**24),
+                ),
+                st.tuples(
+                    st.just(Rec.BRANCH),
+                    st.integers(0, 2**24),
+                    st.booleans(),
+                ),
+            ),
+            max_size=20,
+        )
+
+    @given(records=_records.__func__())
+    @settings(max_examples=40, deadline=None)
+    def test_arbitrary_records_round_trip(self, records):
+        from repro.trace.events import (
+            EpochTrace,
+            ParallelRegion,
+            TransactionTrace,
+            WorkloadTrace,
+        )
+
+        wl = WorkloadTrace(
+            name="w",
+            transactions=[
+                TransactionTrace(
+                    name="t",
+                    segments=[
+                        ParallelRegion(
+                            epochs=[EpochTrace(0, list(records))]
+                        )
+                    ],
+                )
+            ],
+        )
+        again = workload_from_dict(workload_to_dict(wl))
+        assert again.transactions[0].segments[0].epochs[0].records == list(
+            records
+        )

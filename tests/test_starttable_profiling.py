@@ -1,0 +1,106 @@
+"""Tests for sub-thread start tables and the dependence profiler."""
+
+from repro.core.profiling import DependenceProfiler, ExposedLoadTable
+from repro.core.starttable import SubThreadStartTable
+
+
+class TestStartTable:
+    def test_records_and_restart_point(self):
+        t = SubThreadStartTable()
+        t.record(sender_order=2, sender_subidx=1, our_subidx=3)
+        assert t.restart_point(2, 1) == 3
+
+    def test_missing_entry_means_full_restart(self):
+        t = SubThreadStartTable()
+        assert t.restart_point(2, 1) == 0
+
+    def test_disabled_table_always_full_restart(self):
+        t = SubThreadStartTable(enabled=False)
+        t.record(2, 1, 3)
+        assert t.restart_point(2, 1) == 0
+        assert len(t) == 0
+
+    def test_forget_epoch(self):
+        t = SubThreadStartTable()
+        t.record(2, 0, 1)
+        t.record(2, 1, 2)
+        t.record(3, 0, 2)
+        t.forget_epoch(2)
+        assert t.restart_point(2, 1) == 0
+        assert t.restart_point(3, 0) == 2
+
+    def test_truncate_after_rewind_clamps(self):
+        t = SubThreadStartTable()
+        t.record(2, 0, 1)
+        t.record(2, 1, 5)
+        t.truncate_after_rewind(3)
+        assert t.restart_point(2, 0) == 1  # unaffected (below clamp)
+        assert t.restart_point(2, 1) == 3  # clamped
+
+    def test_latest_record_wins(self):
+        t = SubThreadStartTable()
+        t.record(2, 1, 3)
+        t.record(2, 1, 4)
+        assert t.restart_point(2, 1) == 4
+
+
+class TestExposedLoadTable:
+    def test_update_lookup_roundtrip(self):
+        t = ExposedLoadTable(entries=64, line_size=32)
+        t.update(0x1000, pc=0xAA)
+        assert t.lookup(0x1000) == 0xAA
+
+    def test_alias_misses(self):
+        t = ExposedLoadTable(entries=4, line_size=32)
+        t.update(0x1000, pc=0xAA)
+        alias = 0x1000 + 4 * 32  # same index, different tag
+        t.update(alias, pc=0xBB)
+        assert t.lookup(0x1000) is None
+        assert t.tag_mismatches == 1
+        assert t.lookup(alias) == 0xBB
+
+    def test_clear(self):
+        t = ExposedLoadTable(entries=4, line_size=32)
+        t.update(0x1000, pc=0xAA)
+        t.clear()
+        assert t.lookup(0x1000) is None
+
+    def test_rejects_non_pow2(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ExposedLoadTable(entries=100)
+
+
+class TestDependenceProfiler:
+    def test_accumulates_per_pair(self):
+        p = DependenceProfiler()
+        p.record(1, 2, 100.0)
+        p.record(1, 2, 50.0)
+        p.record(3, 4, 10.0)
+        top = p.top(2)
+        assert (top[0].load_pc, top[0].store_pc) == (1, 2)
+        assert top[0].failed_cycles == 150.0
+        assert top[0].violations == 2
+
+    def test_reclaims_least_cycles_on_overflow(self):
+        p = DependenceProfiler(capacity=2)
+        p.record(1, 1, 100.0)
+        p.record(2, 2, 5.0)
+        p.record(3, 3, 50.0)  # evicts (2,2)
+        pairs = {(d.load_pc, d.store_pc) for d in p.top(10)}
+        assert pairs == {(1, 1), (3, 3)}
+        assert p.reclaims == 1
+
+    def test_handles_unknown_pcs(self):
+        p = DependenceProfiler()
+        p.record(None, 7, 10.0)
+        report = p.report()
+        assert "<unknown>" in report or "?" in report
+
+    def test_report_orders_by_cycles(self):
+        p = DependenceProfiler()
+        p.record(1, 1, 10.0)
+        p.record(2, 2, 99.0)
+        lines = p.report(n=2).splitlines()
+        assert "99" in lines[1]
