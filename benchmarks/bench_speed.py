@@ -1,0 +1,177 @@
+"""Wall-clock speed benchmark for the experiment harness.
+
+Times three things and writes them to ``results/perf.json`` so the
+performance trajectory is tracked across PRs:
+
+1. **Serial harness time** — Figure 5 + Figure 6 with ``jobs=1``.
+2. **Parallel harness time** — the same sweep with ``--jobs N``
+   (default: all CPUs), which must produce bit-identical results.
+3. **Inner-loop throughput** — trace records simulated per second by a
+   single ``Machine.run`` on a pre-generated TLS workload.
+
+Unlike the pytest-benchmark files next to it this is a plain script
+(it writes an artifact, not a benchmark table):
+
+    PYTHONPATH=src python benchmarks/bench_speed.py --tiny
+
+Traces are pre-generated (and the in-memory memo shared) before the
+timed harness runs so both configurations measure simulation fan-out,
+not workload generation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.harness import ExperimentContext, JobRunner  # noqa: E402
+from repro.harness.export import result_to_dict  # noqa: E402
+from repro.harness.figure5 import run_figure5  # noqa: E402
+from repro.harness.figure6 import run_figure6  # noqa: E402
+from repro.harness.tracecache import TraceSpec, materialize  # noqa: E402
+from repro.sim import Machine, MachineConfig  # noqa: E402
+from repro.tpcc import TPCCScale  # noqa: E402
+from repro.trace.events import (  # noqa: E402
+    ParallelRegion,
+    SerialSegment,
+    WorkloadTrace,
+)
+
+
+def count_records(trace: WorkloadTrace) -> int:
+    total = 0
+    for txn in trace.transactions:
+        for segment in txn.segments:
+            if isinstance(segment, SerialSegment):
+                total += len(segment.records)
+            elif isinstance(segment, ParallelRegion):
+                total += sum(len(e.records) for e in segment.epochs)
+    return total
+
+
+def make_context(args, jobs: int) -> ExperimentContext:
+    scale = TPCCScale.tiny() if args.tiny else None
+    runner = JobRunner(jobs=jobs, trace_cache=None)
+    return ExperimentContext(
+        n_transactions=args.transactions, seed=args.seed, scale=scale,
+        runner=runner,
+    )
+
+
+def run_sweep(ctx: ExperimentContext):
+    return run_figure5(ctx), run_figure6(ctx)
+
+
+def time_harness(args, jobs: int):
+    """Time figure5+figure6 once with the given fan-out."""
+    ctx = make_context(args, jobs)
+    # Warm the trace memo outside the timed region: both the serial and
+    # the parallel configuration then measure pure simulation time.
+    run_sweep(ctx)
+    t0 = time.perf_counter()
+    results = run_sweep(ctx)
+    return time.perf_counter() - t0, results
+
+
+def time_inner_loop(args):
+    """Records/second of one Machine.run on a TLS workload."""
+    spec = TraceSpec(
+        benchmark="new_order",
+        tls_mode=True,
+        n_transactions=args.transactions,
+        seed=args.seed,
+        scale=TPCCScale.tiny() if args.tiny else None,
+    )
+    trace = materialize(spec, cache_dir=None)
+    records = count_records(trace)
+    best = float("inf")
+    for _ in range(max(1, args.repeat)):
+        machine = Machine(MachineConfig())
+        t0 = time.perf_counter()
+        machine.run(trace)
+        best = min(best, time.perf_counter() - t0)
+    return records, best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--transactions", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--tiny", action="store_true",
+                        help="use the tiny TPC-C scale")
+    parser.add_argument("--jobs", type=int, default=0, metavar="N",
+                        help="parallel worker count (0 = all CPUs)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="inner-loop timing repetitions (best-of)")
+    parser.add_argument(
+        "--out", type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent
+        / "results" / "perf.json",
+    )
+    args = parser.parse_args(argv)
+
+    n_cpus = os.cpu_count() or 1
+    # At least 2 workers so the process-pool path is actually exercised
+    # (and its overhead measured) even on a single-core machine.
+    jobs = args.jobs if args.jobs > 0 else max(2, n_cpus)
+
+    print("timing serial harness (figure5+figure6, jobs=1) ...")
+    serial_s, serial_results = time_harness(args, jobs=1)
+    print(f"  {serial_s:.2f}s")
+    print(f"timing parallel harness (jobs={jobs}) ...")
+    parallel_s, parallel_results = time_harness(args, jobs=jobs)
+    print(f"  {parallel_s:.2f}s")
+
+    identical = (
+        result_to_dict(serial_results) == result_to_dict(parallel_results)
+    )
+    if not identical:
+        print("ERROR: parallel results differ from serial", file=sys.stderr)
+
+    print("timing simulator inner loop ...")
+    records, inner_s = time_inner_loop(args)
+    records_per_s = records / inner_s if inner_s > 0 else 0.0
+    print(f"  {records} records in {inner_s:.2f}s "
+          f"({records_per_s:,.0f} records/s)")
+
+    perf = {
+        "config": {
+            "transactions": args.transactions,
+            "seed": args.seed,
+            "scale": "tiny" if args.tiny else "default",
+            "jobs": jobs,
+            "cpu_count": n_cpus,
+            "python": platform.python_version(),
+        },
+        "harness": {
+            "serial_seconds": round(serial_s, 3),
+            "parallel_seconds": round(parallel_s, 3),
+            "speedup": round(serial_s / parallel_s, 3)
+            if parallel_s > 0 else None,
+            "results_identical": identical,
+        },
+        "inner_loop": {
+            "records": records,
+            "seconds": round(inner_s, 3),
+            "records_per_second": round(records_per_s, 1),
+        },
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    with open(args.out, "w") as fh:
+        json.dump(perf, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,7 +34,7 @@ class Category:
     ALL = (BUSY, MISS, SYNC, OVERHEAD, IDLE, FAILED)
 
 
-@dataclass
+@dataclass(slots=True)
 class CycleCounters:
     """A mutable bag of per-category cycle counts."""
 

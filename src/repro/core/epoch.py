@@ -33,7 +33,7 @@ class EpochStatus:
     COMMITTED = "committed"
 
 
-@dataclass
+@dataclass(slots=True)
 class SubThreadCheckpoint:
     """State captured at a sub-thread boundary (the rewind target)."""
 
@@ -57,6 +57,24 @@ class SubThreadCheckpoint:
 
 class EpochExecution:
     """Live state of one epoch on one CPU."""
+
+    __slots__ = (
+        "trace",
+        "order",
+        "cpu",
+        "speculative",
+        "status",
+        "cursor",
+        "offset",
+        "subthreads",
+        "instrs_since_checkpoint",
+        "violations_suffered",
+        "restarts",
+        "homefree",
+        "finish_cycle",
+        "last_rewound_start",
+        "failed_intervals",
+    )
 
     def __init__(
         self,

@@ -24,8 +24,16 @@ from .mixstudy import MixLatencyResult, run_mix_latency
 from .figure4 import Figure4Result, figure4_workload, run_figure4
 from .figure5 import Figure5Bar, Figure5Result, run_figure5
 from .figure6 import Figure6Result, run_figure6, run_figure6_paper_size
-from .runner import ExperimentContext, mode_trace, run_config, run_mode
+from .runner import (
+    ExperimentContext,
+    JobRunner,
+    SimJob,
+    mode_trace,
+    run_config,
+    run_mode,
+)
 from .scalability import ScalabilityResult, run_scalability
+from .tracecache import TraceSpec, default_cache_dir, materialize, spec_key
 from .seedsweep import SeedSweepResult, run_seed_sweep
 from .table2 import Table2Result, run_table2
 from .whentouse import WhenToUseResult, run_when_to_use
@@ -54,6 +62,12 @@ __all__ = [
     "run_figure6",
     "run_figure6_paper_size",
     "ExperimentContext",
+    "JobRunner",
+    "SimJob",
+    "TraceSpec",
+    "default_cache_dir",
+    "materialize",
+    "spec_key",
     "mode_trace",
     "run_config",
     "run_mode",

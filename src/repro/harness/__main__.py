@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 import time
@@ -26,8 +27,9 @@ from .figure5 import run_figure5
 from .figure6 import run_figure6
 from .kvstudy import run_kv_study
 from .mixstudy import run_mix_latency
-from .runner import ExperimentContext
+from .runner import ExperimentContext, JobRunner
 from .scalability import run_scalability
+from .tracecache import default_cache_dir
 from .seedsweep import run_seed_sweep
 from .table2 import run_table2
 from .whentouse import run_when_to_use
@@ -85,6 +87,32 @@ def main(argv=None) -> int:
         metavar="DIR",
         help="also write each experiment's results as JSON into DIR",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "fan simulations out over N worker processes "
+            "(0 = all CPUs; default 1 = serial; results are "
+            "bit-identical either way)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-cache",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "persistent trace cache directory (default "
+            "$REPRO_TRACE_CACHE or ~/.cache/repro-traces)"
+        ),
+    )
+    parser.add_argument(
+        "--no-trace-cache",
+        action="store_true",
+        help="regenerate traces in memory; do not touch the disk cache",
+    )
     args = parser.parse_args(argv)
 
     if args.scale == "paper":
@@ -93,8 +121,17 @@ def main(argv=None) -> int:
         scale = TPCCScale.tiny()
     else:
         scale = None
+    if args.no_trace_cache:
+        cache_dir = None
+    else:
+        cache_dir = args.trace_cache or default_cache_dir()
+    runner = JobRunner(
+        jobs=args.jobs if args.jobs > 0 else (os.cpu_count() or 1),
+        trace_cache=cache_dir,
+    )
     ctx = ExperimentContext(
-        n_transactions=args.transactions, seed=args.seed, scale=scale
+        n_transactions=args.transactions, seed=args.seed, scale=scale,
+        runner=runner,
     )
 
     def experiment_results(name: str):
@@ -133,12 +170,13 @@ def main(argv=None) -> int:
             result = run_when_to_use(ctx)
         elif name == "kv":
             result = run_kv_study(
-                n_batches=args.transactions, seed=args.seed
+                n_batches=args.transactions, seed=args.seed,
+                runner=runner,
             )
         elif name == "mix":
             result = run_mix_latency(
                 n_transactions=max(args.transactions, 12),
-                seed=args.seed, scale=scale,
+                seed=args.seed, scale=scale, runner=runner,
             )
         elif name == "dependences":
             result = run_dependence_analysis(
@@ -147,7 +185,8 @@ def main(argv=None) -> int:
             )
         elif name == "seeds":
             result = run_seed_sweep(
-                n_transactions=args.transactions, scale=scale
+                n_transactions=args.transactions, scale=scale,
+                runner=runner,
             )
         else:
             raise ValueError(name)

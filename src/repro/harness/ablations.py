@@ -14,6 +14,9 @@
 * **A6 load-miss overlap** — blocking vs MSHR/ROB-window overlapped
   misses, bounding the cost of the trace-driven blocking-load
   simplification.
+
+Each ablation describes its sweep as a :class:`SimJob` list so the
+harness can fan the simulations out over worker processes.
 """
 
 from __future__ import annotations
@@ -21,9 +24,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import List, Optional
 
-from ..sim import ExecutionMode, Machine, MachineConfig
+from ..sim import ExecutionMode, MachineConfig
 from .report import render_table
-from .runner import ExperimentContext, mode_trace
+from .runner import ExperimentContext, SimJob
 
 
 @dataclass
@@ -61,14 +64,17 @@ def run_victim_cache_ablation(
 ) -> SweepResult:
     """A1: sweep the speculative victim cache size."""
     ctx = ctx or ExperimentContext()
-    trace = mode_trace(ctx, benchmark, ExecutionMode.BASELINE)
+    spec = ctx.spec(benchmark, mode=ExecutionMode.BASELINE)
+    stats_list = ctx.run(
+        SimJob(config=replace(MachineConfig(), victim_entries=size),
+               spec=spec)
+        for size in sizes
+    )
     result = SweepResult(
         title=f"A1 — victim-cache size sweep ({benchmark})",
         parameter="entries",
     )
-    for size in sizes:
-        config = replace(MachineConfig(), victim_entries=size)
-        stats = Machine(config).run(trace)
+    for size, stats in zip(sizes, stats_list):
         result.points.append(
             SweepPoint(
                 value=size,
@@ -89,14 +95,17 @@ def run_start_cost_ablation(
 ) -> SweepResult:
     """A2: sweep the cycles charged per sub-thread checkpoint."""
     ctx = ctx or ExperimentContext()
-    trace = mode_trace(ctx, benchmark, ExecutionMode.BASELINE)
+    spec = ctx.spec(benchmark, mode=ExecutionMode.BASELINE)
+    stats_list = ctx.run(
+        SimJob(config=MachineConfig().with_tls(subthread_start_cost=cost),
+               spec=spec)
+        for cost in costs
+    )
     result = SweepResult(
         title=f"A2 — sub-thread start cost sweep ({benchmark})",
         parameter="cycles/checkpoint",
     )
-    for cost in costs:
-        config = MachineConfig().with_tls(subthread_start_cost=cost)
-        stats = Machine(config).run(trace)
+    for cost, stats in zip(costs, stats_list):
         result.points.append(
             SweepPoint(
                 value=cost,
@@ -121,26 +130,34 @@ def run_overlap_loads_ablation(
     to the choice.
     """
     ctx = ctx or ExperimentContext()
-    trace = mode_trace(ctx, benchmark, ExecutionMode.BASELINE)
-    seq = mode_trace(ctx, benchmark, ExecutionMode.SEQUENTIAL)
+    tls_spec = ctx.spec(benchmark, mode=ExecutionMode.BASELINE)
+    seq_spec = ctx.spec(benchmark, mode=ExecutionMode.SEQUENTIAL)
+    models = (("blocking (default)", False),
+              ("overlapped (MSHR=8, ROB window)", True))
+    jobs = []
+    for _label, overlap in models:
+        jobs.append(SimJob(
+            config=replace(
+                MachineConfig.for_mode(ExecutionMode.SEQUENTIAL),
+                overlap_loads=overlap,
+            ),
+            spec=seq_spec,
+        ))
+        jobs.append(SimJob(
+            config=replace(
+                MachineConfig.for_mode(ExecutionMode.BASELINE),
+                overlap_loads=overlap,
+            ),
+            spec=tls_spec,
+        ))
+    stats_list = iter(ctx.run(jobs))
     result = SweepResult(
         title=f"A6 — load-miss overlap model ({benchmark})",
         parameter="model",
     )
-    for label, overlap in (("blocking (default)", False),
-                           ("overlapped (MSHR=8, ROB window)", True)):
-        seq_stats = Machine(
-            replace(
-                MachineConfig.for_mode(ExecutionMode.SEQUENTIAL),
-                overlap_loads=overlap,
-            )
-        ).run(seq)
-        base_stats = Machine(
-            replace(
-                MachineConfig.for_mode(ExecutionMode.BASELINE),
-                overlap_loads=overlap,
-            )
-        ).run(trace)
+    for label, _overlap in models:
+        seq_stats = next(stats_list)
+        base_stats = next(stats_list)
         result.points.append(
             SweepPoint(
                 value=label,
@@ -172,18 +189,25 @@ def run_adaptive_spacing_ablation(
     and compare against the fixed-spacing baseline per benchmark.
     """
     ctx = ctx or ExperimentContext()
+    jobs = []
+    for benchmark in benchmarks:
+        spec = ctx.spec(benchmark, mode=ExecutionMode.BASELINE)
+        jobs.append(SimJob(
+            config=MachineConfig.for_mode(ExecutionMode.BASELINE),
+            spec=spec,
+        ))
+        jobs.append(SimJob(
+            config=MachineConfig().with_tls(adaptive_spacing=True),
+            spec=spec,
+        ))
+    stats_list = iter(ctx.run(jobs))
     result = SweepResult(
         title="A5 — adaptive sub-thread spacing",
         parameter="benchmark",
     )
     for benchmark in benchmarks:
-        trace = mode_trace(ctx, benchmark, ExecutionMode.BASELINE)
-        fixed = Machine(
-            MachineConfig.for_mode(ExecutionMode.BASELINE)
-        ).run(trace)
-        adaptive = Machine(
-            MachineConfig().with_tls(adaptive_spacing=True)
-        ).run(trace)
+        fixed = next(stats_list)
+        adaptive = next(stats_list)
         result.points.append(
             SweepPoint(
                 value=benchmark,
@@ -211,26 +235,29 @@ def run_l1_tracking_ablation(
     both designs; the expected result is a marginal difference.
     """
     ctx = ctx or ExperimentContext()
-    trace = mode_trace(ctx, benchmark, ExecutionMode.BASELINE)
+    spec = ctx.spec(benchmark, mode=ExecutionMode.BASELINE)
+    designs = (
+        ("sub-thread-unaware (paper)", False),
+        ("per-sub-thread tracking", True),
+    )
+    stats_list = ctx.run(
+        SimJob(
+            config=replace(MachineConfig(), l1_subthread_tracking=tracking),
+            spec=spec,
+        )
+        for _label, tracking in designs
+    )
     result = SweepResult(
         title=f"A4 — L1 sub-thread tracking ({benchmark})",
         parameter="L1 design",
     )
-    for label, tracking in (
-        ("sub-thread-unaware (paper)", False),
-        ("per-sub-thread tracking", True),
-    ):
-        config = replace(MachineConfig(), l1_subthread_tracking=tracking)
-        machine = Machine(config)
-        stats = machine.run(trace)
+    for (label, _tracking), stats in zip(designs, stats_list):
         result.points.append(
             SweepPoint(
                 value=label,
                 cycles=stats.total_cycles,
                 extra={
-                    "l1_spec_invalidations": sum(
-                        c.l1.spec_invalidations for c in machine.cpus
-                    ),
+                    "l1_spec_invalidations": stats.l1_spec_invalidations,
                     "l1_misses": stats.l1_misses,
                 },
             )
@@ -249,14 +276,20 @@ def run_load_granularity_ablation(
     alternative.  This quantifies the false-sharing cost.
     """
     ctx = ctx or ExperimentContext()
-    trace = mode_trace(ctx, benchmark, ExecutionMode.BASELINE)
+    spec = ctx.spec(benchmark, mode=ExecutionMode.BASELINE)
+    granularities = (("line (paper)", True), ("word", False))
+    stats_list = ctx.run(
+        SimJob(
+            config=MachineConfig().with_tls(line_granularity_loads=gran),
+            spec=spec,
+        )
+        for _label, gran in granularities
+    )
     result = SweepResult(
         title=f"A3 — load-tracking granularity ({benchmark})",
         parameter="granularity",
     )
-    for label, line_gran in (("line (paper)", True), ("word", False)):
-        config = MachineConfig().with_tls(line_granularity_loads=line_gran)
-        stats = Machine(config).run(trace)
+    for (label, _gran), stats in zip(granularities, stats_list):
         result.points.append(
             SweepPoint(
                 value=label,

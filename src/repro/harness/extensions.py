@@ -20,9 +20,9 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..core.accounting import Category
-from ..sim import ExecutionMode, Machine, MachineConfig
+from ..sim import ExecutionMode, MachineConfig
 from .report import render_table
-from .runner import ExperimentContext, mode_trace, run_mode
+from .runner import ExperimentContext, SimJob
 
 
 @dataclass
@@ -96,15 +96,19 @@ def run_prediction_comparison(
     benchmark: str = "new_order_150",
 ) -> PredictionResult:
     ctx = ctx or ExperimentContext()
-    seq = run_mode(
-        mode_trace(ctx, benchmark, ExecutionMode.SEQUENTIAL),
-        ExecutionMode.SEQUENTIAL,
+    policies = _policy_configs()
+    tls_spec = ctx.spec(benchmark, mode=ExecutionMode.BASELINE)
+    jobs = [SimJob(
+        config=MachineConfig.for_mode(ExecutionMode.SEQUENTIAL),
+        spec=ctx.spec(benchmark, mode=ExecutionMode.SEQUENTIAL),
+    )]
+    jobs.extend(
+        SimJob(config=config, spec=tls_spec) for _label, config in policies
     )
-    trace = mode_trace(ctx, benchmark, ExecutionMode.BASELINE)
+    stats_list = ctx.run(jobs)
+    seq = stats_list[0]
     result = PredictionResult(benchmark=benchmark)
-    for label, config in _policy_configs():
-        machine = Machine(config)
-        stats = machine.run(trace)
+    for (label, _config), stats in zip(policies, stats_list[1:]):
         frac = stats.breakdown_fractions()
         result.points.append(
             PredictionPoint(
@@ -115,7 +119,7 @@ def run_prediction_comparison(
                 + stats.secondary_violations,
                 sync_fraction=frac[Category.SYNC],
                 failed_fraction=frac[Category.FAILED],
-                predictor_entries=len(machine.engine.load_predictor),
+                predictor_entries=stats.load_predictor_entries,
             )
         )
     return result

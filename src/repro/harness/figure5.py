@@ -17,8 +17,9 @@ from typing import Dict, List, Optional
 from ..core.accounting import Category
 from ..sim import ExecutionMode
 from ..tpcc import BENCHMARKS, DISPLAY_NAMES
+from ..sim import MachineConfig
 from .report import render_stacked_bars, render_table
-from .runner import ExperimentContext, mode_trace, run_mode
+from .runner import ExperimentContext, SimJob
 
 #: Display order of breakdown categories (Figure 5 legend order).
 CATEGORY_ORDER = (
@@ -116,16 +117,24 @@ def run_figure5(
     ctx = ctx or ExperimentContext()
     benchmarks = benchmarks or list(BENCHMARKS)
     modes = modes or list(ExecutionMode.ALL)
+    if modes and modes[0] != ExecutionMode.SEQUENTIAL:
+        raise ValueError(
+            "modes must start with SEQUENTIAL for normalization"
+        )
+    stats_list = iter(ctx.run(
+        SimJob(
+            config=MachineConfig.for_mode(mode),
+            spec=ctx.spec(benchmark, mode=mode),
+        )
+        for benchmark in benchmarks
+        for mode in modes
+    ))
     result = Figure5Result()
     for benchmark in benchmarks:
         baseline_cycles: Optional[float] = None
         for mode in modes:
-            stats = run_mode(mode_trace(ctx, benchmark, mode), mode)
+            stats = next(stats_list)
             if baseline_cycles is None:
-                if mode != ExecutionMode.SEQUENTIAL:
-                    raise ValueError(
-                        "modes must start with SEQUENTIAL for normalization"
-                    )
                 baseline_cycles = stats.total_cycles
             result.bars.append(
                 Figure5Bar(

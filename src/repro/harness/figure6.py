@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Tuple
 from ..sim import ExecutionMode, MachineConfig
 from ..tpcc import DISPLAY_NAMES
 from .report import render_table
-from .runner import ExperimentContext, mode_trace, run_config, run_mode
+from .runner import ExperimentContext, SimJob, run_config, run_mode
 
 #: Benchmarks shown in Figure 6 (the TLS-profitable five).
 FIGURE6_BENCHMARKS = (
@@ -148,20 +148,29 @@ def run_figure6(
     spacings: Tuple[int, ...] = SPACINGS,
 ) -> Figure6Result:
     ctx = ctx or ExperimentContext()
-    result = Figure6Result()
+    jobs = []
     for benchmark in benchmarks:
-        seq = run_mode(
-            mode_trace(ctx, benchmark, ExecutionMode.SEQUENTIAL),
-            ExecutionMode.SEQUENTIAL,
-        )
-        result.sequential_cycles[benchmark] = seq.total_cycles
-        trace = mode_trace(ctx, benchmark, ExecutionMode.BASELINE)
+        jobs.append(SimJob(
+            config=MachineConfig.for_mode(ExecutionMode.SEQUENTIAL),
+            spec=ctx.spec(benchmark, mode=ExecutionMode.SEQUENTIAL),
+        ))
+        tls_spec = ctx.spec(benchmark, mode=ExecutionMode.BASELINE)
         for count in counts:
             for spacing in spacings:
-                config = MachineConfig().with_tls(
-                    max_subthreads=count, subthread_spacing=spacing
-                )
-                stats = run_config(trace, config)
+                jobs.append(SimJob(
+                    config=MachineConfig().with_tls(
+                        max_subthreads=count, subthread_spacing=spacing
+                    ),
+                    spec=tls_spec,
+                ))
+    stats_list = iter(ctx.run(jobs))
+    result = Figure6Result()
+    for benchmark in benchmarks:
+        seq = next(stats_list)
+        result.sequential_cycles[benchmark] = seq.total_cycles
+        for count in counts:
+            for spacing in spacings:
+                stats = next(stats_list)
                 result.cells.append(
                     Figure6Cell(
                         benchmark=benchmark,

@@ -16,9 +16,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence
 
-from ..kv import KVSpec, generate_kv_workload
-from ..sim import ExecutionMode, Machine, MachineConfig
+from ..kv import KVSpec
+from ..sim import ExecutionMode, MachineConfig
 from .report import render_table
+from .runner import JobRunner, SimJob
+from .tracecache import TraceSpec
 
 THETAS = (0.0, 0.9, 1.3)
 
@@ -61,29 +63,37 @@ def run_kv_study(
     n_batches: int = 4,
     seed: int = 42,
     spec: Optional[KVSpec] = None,
+    runner: Optional[JobRunner] = None,
 ) -> KVStudyResult:
     base_spec = spec or KVSpec()
-    result = KVStudyResult()
+    runner = runner or JobRunner()
+    jobs = []
     for theta in thetas:
         spec_t = replace(base_spec, zipf_theta=theta)
-        seq = generate_kv_workload(
-            spec_t, tls_mode=False, n_batches=n_batches, seed=seed
-        ).trace
-        tls = generate_kv_workload(
-            spec_t, tls_mode=True, n_batches=n_batches, seed=seed
-        ).trace
-        seq_cycles = Machine(
-            MachineConfig.for_mode(ExecutionMode.SEQUENTIAL)
-        ).run(seq).total_cycles
-        nosub = Machine(
-            MachineConfig.for_mode(ExecutionMode.NO_SUBTHREAD)
-        ).run(tls)
-        base = Machine(
-            MachineConfig.for_mode(ExecutionMode.BASELINE)
-        ).run(tls)
-        nospec = Machine(
-            MachineConfig.for_mode(ExecutionMode.NO_SPECULATION)
-        ).run(tls)
+        seq_spec = TraceSpec(
+            kind="kv", tls_mode=False, n_transactions=n_batches,
+            seed=seed, kv=spec_t,
+        )
+        tls_spec = replace(seq_spec, tls_mode=True)
+        jobs.append(SimJob(
+            config=MachineConfig.for_mode(ExecutionMode.SEQUENTIAL),
+            spec=seq_spec,
+        ))
+        jobs.extend(
+            SimJob(config=MachineConfig.for_mode(mode), spec=tls_spec)
+            for mode in (
+                ExecutionMode.NO_SUBTHREAD,
+                ExecutionMode.BASELINE,
+                ExecutionMode.NO_SPECULATION,
+            )
+        )
+    stats_list = iter(runner.run(jobs))
+    result = KVStudyResult()
+    for theta in thetas:
+        seq_cycles = next(stats_list).total_cycles
+        nosub = next(stats_list)
+        base = next(stats_list)
+        nospec = next(stats_list)
         result.points.append(
             KVPoint(
                 zipf_theta=theta,

@@ -14,10 +14,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..sim import ExecutionMode, Machine, MachineConfig
+from ..sim import ExecutionMode, MachineConfig
 from ..tpcc import DISPLAY_NAMES, TPCCScale, generate_mix_workload
 from ..trace.events import WorkloadTrace
 from .report import render_table
+from .runner import JobRunner, SimJob
 
 
 @dataclass
@@ -79,20 +80,33 @@ def run_mix_latency(
     n_transactions: int = 20,
     seed: int = 42,
     scale: Optional[TPCCScale] = None,
+    runner: Optional[JobRunner] = None,
 ) -> MixLatencyResult:
+    # Mix generation stays inline: the per-transaction "_type" labels in
+    # ``gw.results`` are needed alongside the trace, so only the
+    # per-transaction simulations are handed to the runner (as inline
+    # single-transaction traces).
+    runner = runner or JobRunner()
     gw = generate_mix_workload(
         n_transactions=n_transactions, seed=seed, scale=scale
     )
+    jobs = []
+    for txn_trace in gw.trace.transactions:
+        one = WorkloadTrace(name="one", transactions=[txn_trace])
+        jobs.append(SimJob(
+            config=MachineConfig.for_mode(ExecutionMode.TLS_SEQ),
+            trace=one,
+        ))
+        jobs.append(SimJob(
+            config=MachineConfig.for_mode(ExecutionMode.BASELINE),
+            trace=one,
+        ))
+    stats_list = iter(runner.run(jobs))
     per_type: Dict[str, List[List[float]]] = {}
     total_single = total_tls = 0.0
-    for txn_trace, result in zip(gw.trace.transactions, gw.results):
-        one = WorkloadTrace(name="one", transactions=[txn_trace])
-        single = Machine(
-            MachineConfig.for_mode(ExecutionMode.TLS_SEQ)
-        ).run(one).total_cycles
-        tls = Machine(
-            MachineConfig.for_mode(ExecutionMode.BASELINE)
-        ).run(one).total_cycles
+    for result in gw.results:
+        single = next(stats_list).total_cycles
+        tls = next(stats_list).total_cycles
         per_type.setdefault(result["_type"], []).append([single, tls])
         total_single += single
         total_tls += tls

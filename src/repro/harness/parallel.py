@@ -1,0 +1,82 @@
+"""Process-pool fan-out for simulation job lists.
+
+Every simulation job is a pure function of (trace, MachineConfig), so the
+sweep drivers are embarrassingly parallel once their traces exist — the
+same property the paper exploits by replaying one set of binaries across
+all hardware configurations.  This module fans a job list over a
+``ProcessPoolExecutor`` while keeping the results in submission order, so
+a parallel run is bit-identical to a serial one.
+
+Two rules keep the workers cheap and picklable:
+
+* jobs that reference a :class:`~repro.harness.tracecache.TraceSpec`
+  ship the (small) spec, not the (large) trace, and each worker
+  materializes it locally with a per-process memo — when a shared disk
+  cache is in use the trace is generated once and loaded everywhere else;
+* all worker entry points are module-level functions.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from ..sim import Machine, SimulationStats
+from ..trace import WorkloadTrace
+from .tracecache import TraceSpec, materialize, spec_key
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .runner import SimJob
+
+# Per-worker state, installed by the pool initializer.
+_worker_cache_dir = None
+_worker_memo: Dict[str, WorkloadTrace] = {}
+
+
+def _init_worker(cache_dir) -> None:
+    global _worker_cache_dir
+    _worker_cache_dir = cache_dir
+    _worker_memo.clear()
+
+
+def _worker_trace(spec: TraceSpec) -> WorkloadTrace:
+    key = spec_key(spec)
+    trace = _worker_memo.get(key)
+    if trace is None:
+        trace = materialize(spec, _worker_cache_dir)
+        _worker_memo[key] = trace
+    return trace
+
+
+def _warm_spec(spec: TraceSpec) -> None:
+    """Materialize one spec into the shared disk cache."""
+    _worker_trace(spec)
+
+
+def _run_job(job: "SimJob") -> SimulationStats:
+    trace = job.trace if job.trace is not None else _worker_trace(job.spec)
+    return Machine(job.config).run(trace)
+
+
+def run_jobs_parallel(
+    jobs: Sequence["SimJob"],
+    n_workers: int,
+    trace_cache=None,
+) -> List[SimulationStats]:
+    """Run a job list over ``n_workers`` processes, results in job order."""
+    jobs = list(jobs)
+    n_workers = max(1, min(n_workers, len(jobs)))
+    with ProcessPoolExecutor(
+        max_workers=n_workers,
+        initializer=_init_worker,
+        initargs=(trace_cache,),
+    ) as pool:
+        if trace_cache is not None:
+            # Pre-warm the disk cache so each unique trace is generated
+            # exactly once instead of once per worker that needs it.
+            unique = {}
+            for job in jobs:
+                if job.spec is not None:
+                    unique.setdefault(spec_key(job.spec), job.spec)
+            list(pool.map(_warm_spec, unique.values()))
+        return list(pool.map(_run_job, jobs, chunksize=1))

@@ -1,46 +1,179 @@
-"""Shared experiment plumbing: trace caching and mode execution."""
+"""Shared experiment plumbing: trace caching, job lists, mode execution.
+
+Drivers describe their sweeps as lists of :class:`SimJob` (one trace, one
+machine configuration) and hand them to a :class:`JobRunner`, which runs
+them serially or over a process pool (``--jobs N``) and optionally backs
+trace generation with the persistent disk cache in
+:mod:`repro.harness.tracecache`.  Results always come back in job order,
+so serial and parallel runs are bit-identical.
+"""
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..minidb import EngineOptions
 from ..sim import ExecutionMode, Machine, MachineConfig, SimulationStats
 from ..tpcc import GeneratedWorkload, TPCCScale, generate_workload
 from ..trace import WorkloadTrace
+from .tracecache import TraceSpec, materialize, spec_key
+
+
+@dataclass
+class SimJob:
+    """One simulation: a trace under one machine configuration.
+
+    The trace is named either by a :class:`TraceSpec` (preferred — small,
+    picklable, cacheable) or inline as a ``WorkloadTrace`` (for traces
+    that are sliced or synthesized by the driver itself).  Exactly one of
+    the two must be given.
+    """
+
+    config: MachineConfig
+    spec: Optional[TraceSpec] = None
+    trace: Optional[WorkloadTrace] = None
+
+    def __post_init__(self) -> None:
+        if (self.spec is None) == (self.trace is None):
+            raise ValueError("SimJob needs exactly one of spec= or trace=")
+
+
+@dataclass
+class JobRunner:
+    """Executes job lists; owns parallelism and trace caching policy.
+
+    ``jobs`` is the worker-process count (1 = in-process serial).
+    ``trace_cache`` is a directory for the persistent disk cache, or
+    ``None`` to keep traces purely in memory.  Traces materialized
+    in-process are memoized by content-hash key, so a sweep that replays
+    one trace under many configurations generates it once.
+    """
+
+    jobs: int = 1
+    trace_cache: Optional[Union[str, Path]] = None
+    _memo: Dict[str, WorkloadTrace] = field(
+        default_factory=dict, repr=False
+    )
+
+    def trace_for(self, spec: TraceSpec) -> WorkloadTrace:
+        key = spec_key(spec)
+        trace = self._memo.get(key)
+        if trace is None:
+            trace = materialize(spec, self.trace_cache)
+            self._memo[key] = trace
+        return trace
+
+    def seed_trace(self, spec: TraceSpec, trace: WorkloadTrace) -> None:
+        """Install an already-generated trace under its spec's key."""
+        self._memo.setdefault(spec_key(spec), trace)
+
+    def run_one(self, job: SimJob) -> SimulationStats:
+        trace = job.trace if job.trace is not None else self.trace_for(job.spec)
+        return Machine(job.config).run(trace)
+
+    def run(self, sim_jobs: Iterable[SimJob]) -> List[SimulationStats]:
+        """Run jobs, returning stats in job order regardless of ``jobs``."""
+        sim_jobs = list(sim_jobs)
+        if self.jobs > 1 and len(sim_jobs) > 1:
+            from .parallel import run_jobs_parallel
+
+            return run_jobs_parallel(sim_jobs, self.jobs, self.trace_cache)
+        return [self.run_one(job) for job in sim_jobs]
 
 
 @dataclass
 class ExperimentContext:
     """Caches generated traces so sweeps don't regenerate them.
 
-    One trace per (benchmark, software mode) pair is enough: all hardware
-    configurations replay the same trace, exactly as the paper replays the
-    same binaries.
+    One trace per (benchmark, software mode, engine options) triple is
+    enough: all hardware configurations replay the same trace, exactly as
+    the paper replays the same binaries.  The cache key includes the
+    resolved :class:`EngineOptions` because drivers (e.g. Figure 2's
+    tuning ladder) vary software optimizations against one benchmark.
     """
 
     n_transactions: int = 4
     seed: int = 42
     scale: Optional[TPCCScale] = None
-    _cache: Dict[Tuple[str, bool], GeneratedWorkload] = field(
-        default_factory=dict
-    )
+    runner: JobRunner = field(default_factory=JobRunner)
+    _cache: Dict[Tuple, GeneratedWorkload] = field(default_factory=dict)
 
-    def workload(self, benchmark: str, tls_mode: bool) -> GeneratedWorkload:
-        key = (benchmark, tls_mode)
+    def spec(
+        self,
+        benchmark: str,
+        tls_mode: Optional[bool] = None,
+        mode: Optional[str] = None,
+        options: Optional[EngineOptions] = None,
+        n_cpus: int = 4,
+    ) -> TraceSpec:
+        """The :class:`TraceSpec` for one benchmark under this context.
+
+        Pass either ``tls_mode`` directly or a hardware ``mode`` (every
+        mode except SEQUENTIAL replays the TLS-transformed trace).
+        """
+        if tls_mode is None:
+            tls_mode = mode != ExecutionMode.SEQUENTIAL
+        return TraceSpec(
+            kind="tpcc",
+            benchmark=benchmark,
+            tls_mode=tls_mode,
+            n_transactions=self.n_transactions,
+            seed=self.seed,
+            scale=self.scale,
+            options=options,
+            n_cpus=n_cpus,
+        )
+
+    def workload(
+        self,
+        benchmark: str,
+        tls_mode: bool,
+        options: Optional[EngineOptions] = None,
+    ) -> GeneratedWorkload:
+        """Generate (and cache) the full workload, db and results included.
+
+        Prefer :meth:`trace` when only the trace is needed — it shares
+        the runner's memo and the disk cache.
+        """
+        resolved = options
+        if resolved is None:
+            resolved = (
+                EngineOptions.optimized()
+                if tls_mode
+                else EngineOptions.unoptimized()
+            )
+        key = (benchmark, tls_mode, dataclasses.astuple(resolved))
         if key not in self._cache:
-            self._cache[key] = generate_workload(
+            gw = generate_workload(
                 benchmark,
                 tls_mode=tls_mode,
+                options=resolved,
                 n_transactions=self.n_transactions,
                 seed=self.seed,
                 scale=self.scale,
             )
+            self._cache[key] = gw
+            self.runner.seed_trace(
+                self.spec(benchmark, tls_mode=tls_mode, options=options),
+                gw.trace,
+            )
         return self._cache[key]
 
-    def trace(self, benchmark: str, tls_mode: bool) -> WorkloadTrace:
-        return self.workload(benchmark, tls_mode).trace
+    def trace(
+        self,
+        benchmark: str,
+        tls_mode: bool,
+        options: Optional[EngineOptions] = None,
+    ) -> WorkloadTrace:
+        return self.runner.trace_for(
+            self.spec(benchmark, tls_mode=tls_mode, options=options)
+        )
+
+    def run(self, sim_jobs: Iterable[SimJob]) -> List[SimulationStats]:
+        return self.runner.run(sim_jobs)
 
 
 def run_mode(

@@ -17,10 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import List, Optional
 
-from ..sim import ExecutionMode, Machine, MachineConfig
-from ..tpcc import generate_workload
+from ..sim import ExecutionMode, MachineConfig
 from .report import render_table
-from .runner import ExperimentContext
+from .runner import ExperimentContext, SimJob
 
 CPU_COUNTS = (1, 2, 4, 8)
 
@@ -64,37 +63,31 @@ def run_scalability(
     """Sweep the CMP width.  Traces are regenerated per width (the
     thread-local arenas must match the worker-thread count)."""
     ctx = ctx or ExperimentContext()
-    seq_gw = generate_workload(
-        benchmark,
-        tls_mode=False,
-        n_transactions=ctx.n_transactions,
-        seed=ctx.seed,
-        scale=ctx.scale,
-        n_cpus=1,
-    )
-    seq_config = replace(
-        MachineConfig.for_mode(ExecutionMode.SEQUENTIAL), n_cpus=1
-    )
-    seq_cycles = Machine(seq_config).run(seq_gw.trace).total_cycles
-    result = ScalabilityResult(benchmark=benchmark)
+    jobs = [SimJob(
+        config=replace(
+            MachineConfig.for_mode(ExecutionMode.SEQUENTIAL), n_cpus=1
+        ),
+        spec=ctx.spec(benchmark, tls_mode=False, n_cpus=1),
+    )]
     for n_cpus in cpu_counts:
-        gw = generate_workload(
-            benchmark,
-            tls_mode=True,
-            n_transactions=ctx.n_transactions,
-            seed=ctx.seed,
-            scale=ctx.scale,
-            n_cpus=n_cpus,
-        )
-        base = Machine(
-            replace(MachineConfig(), n_cpus=n_cpus)
-        ).run(gw.trace)
-        nosub = Machine(
-            replace(
+        tls_spec = ctx.spec(benchmark, tls_mode=True, n_cpus=n_cpus)
+        jobs.append(SimJob(
+            config=replace(MachineConfig(), n_cpus=n_cpus),
+            spec=tls_spec,
+        ))
+        jobs.append(SimJob(
+            config=replace(
                 MachineConfig.for_mode(ExecutionMode.NO_SUBTHREAD),
                 n_cpus=n_cpus,
-            )
-        ).run(gw.trace)
+            ),
+            spec=tls_spec,
+        ))
+    stats_list = iter(ctx.run(jobs))
+    seq_cycles = next(stats_list).total_cycles
+    result = ScalabilityResult(benchmark=benchmark)
+    for n_cpus in cpu_counts:
+        base = next(stats_list)
+        nosub = next(stats_list)
         result.points.append(
             ScalabilityPoint(
                 n_cpus=n_cpus,

@@ -14,9 +14,11 @@ import statistics
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..sim import ExecutionMode, Machine, MachineConfig
-from ..tpcc import TPCCScale, generate_workload
+from ..sim import ExecutionMode, MachineConfig
+from ..tpcc import TPCCScale
 from .report import render_table
+from .runner import JobRunner, SimJob
+from .tracecache import TraceSpec
 
 DEFAULT_SEEDS = (11, 23, 42, 59, 71)
 
@@ -68,24 +70,35 @@ def run_seed_sweep(
     n_transactions: int = 3,
     scale: Optional[TPCCScale] = None,
     modes: Sequence[str] = MODES,
+    runner: Optional[JobRunner] = None,
 ) -> SeedSweepResult:
+    runner = runner or JobRunner()
+    jobs = []
+    for seed in seeds:
+        seq_spec = TraceSpec(
+            benchmark=benchmark, tls_mode=False,
+            n_transactions=n_transactions, seed=seed, scale=scale,
+        )
+        tls_spec = TraceSpec(
+            benchmark=benchmark, tls_mode=True,
+            n_transactions=n_transactions, seed=seed, scale=scale,
+        )
+        jobs.append(SimJob(
+            config=MachineConfig.for_mode(ExecutionMode.SEQUENTIAL),
+            spec=seq_spec,
+        ))
+        jobs.extend(
+            SimJob(config=MachineConfig.for_mode(mode), spec=tls_spec)
+            for mode in modes
+        )
+    stats_list = iter(runner.run(jobs))
     result = SeedSweepResult(benchmark=benchmark, seeds=tuple(seeds))
     for mode in modes:
         result.speedups[mode] = []
-    for seed in seeds:
-        seq = generate_workload(
-            benchmark, tls_mode=False, n_transactions=n_transactions,
-            seed=seed, scale=scale,
-        ).trace
-        tls = generate_workload(
-            benchmark, tls_mode=True, n_transactions=n_transactions,
-            seed=seed, scale=scale,
-        ).trace
-        seq_cycles = Machine(
-            MachineConfig.for_mode(ExecutionMode.SEQUENTIAL)
-        ).run(seq).total_cycles
+    for _seed in seeds:
+        seq_cycles = next(stats_list).total_cycles
         for mode in modes:
-            stats = Machine(MachineConfig.for_mode(mode)).run(tls)
+            stats = next(stats_list)
             result.speedups[mode].append(
                 seq_cycles / stats.total_cycles
             )

@@ -13,10 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from ..sim import ExecutionMode
+from ..sim import ExecutionMode, MachineConfig
 from ..tpcc import BENCHMARKS, DISPLAY_NAMES
 from .report import render_table
-from .runner import ExperimentContext, mode_trace, run_mode
+from .runner import ExperimentContext, SimJob, mode_trace
 
 
 @dataclass
@@ -66,13 +66,17 @@ class Table2Result:
 
 def run_table2(ctx: Optional[ExperimentContext] = None) -> Table2Result:
     ctx = ctx or ExperimentContext()
-    result = Table2Result()
-    for benchmark in BENCHMARKS:
-        seq_stats = run_mode(
-            mode_trace(ctx, benchmark, ExecutionMode.SEQUENTIAL),
-            ExecutionMode.SEQUENTIAL,
+    benchmarks = list(BENCHMARKS)
+    seq_stats_list = ctx.run(
+        SimJob(
+            config=MachineConfig.for_mode(ExecutionMode.SEQUENTIAL),
+            spec=ctx.spec(benchmark, mode=ExecutionMode.SEQUENTIAL),
         )
-        tls = ctx.trace(benchmark, tls_mode=True)
+        for benchmark in benchmarks
+    )
+    result = Table2Result()
+    for benchmark, seq_stats in zip(benchmarks, seq_stats_list):
+        tls = mode_trace(ctx, benchmark, ExecutionMode.BASELINE)
         epochs = [e for t in tls.transactions for e in t.epochs()]
         n_epochs = max(1, len(epochs))
         # Speculative instructions per thread: every epoch instruction

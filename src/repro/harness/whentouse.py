@@ -33,11 +33,10 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..sim import ExecutionMode, Machine, MachineConfig
-from ..tpcc import generate_workload
+from ..sim import ExecutionMode, MachineConfig
 from ..trace.events import WorkloadTrace
 from .report import render_table
-from .runner import ExperimentContext
+from .runner import ExperimentContext, SimJob, mode_trace
 
 N_CPUS = 4
 
@@ -46,18 +45,23 @@ def measure_durations(
     ctx: ExperimentContext, benchmark: str
 ) -> List[Tuple[float, float]]:
     """Per-transaction (tls_duration, single_cpu_duration) in cycles."""
-    gw = ctx.workload(benchmark, tls_mode=True)
-    durations = []
-    for txn in gw.trace.transactions:
+    trace = mode_trace(ctx, benchmark, ExecutionMode.BASELINE)
+    jobs = []
+    for txn in trace.transactions:
         single_txn = WorkloadTrace(name="one", transactions=[txn])
-        tls = Machine(
-            MachineConfig.for_mode(ExecutionMode.BASELINE)
-        ).run(single_txn).total_cycles
-        single = Machine(
-            MachineConfig.for_mode(ExecutionMode.TLS_SEQ)
-        ).run(single_txn).total_cycles
-        durations.append((tls, single))
-    return durations
+        jobs.append(SimJob(
+            config=MachineConfig.for_mode(ExecutionMode.BASELINE),
+            trace=single_txn,
+        ))
+        jobs.append(SimJob(
+            config=MachineConfig.for_mode(ExecutionMode.TLS_SEQ),
+            trace=single_txn,
+        ))
+    stats_list = ctx.run(jobs)
+    return [
+        (stats_list[i].total_cycles, stats_list[i + 1].total_cycles)
+        for i in range(0, len(stats_list), 2)
+    ]
 
 
 @dataclass

@@ -17,7 +17,12 @@ def _is_pow2(x: int) -> bool:
 
 @dataclass(frozen=True)
 class CacheGeometry:
-    """Size/associativity/line-size geometry with address slicing helpers."""
+    """Size/associativity/line-size geometry with address slicing helpers.
+
+    Line size and set count are powers of two, so the address slicing
+    used on every simulated memory access reduces to precomputed
+    shift/mask constants (stashed as pseudo-fields in ``__post_init__``).
+    """
 
     size_bytes: int
     assoc: int
@@ -34,30 +39,39 @@ class CacheGeometry:
         n_sets = self.size_bytes // (self.assoc * self.line_size)
         if not _is_pow2(n_sets):
             raise ValueError("number of sets must be a power of two")
+        object.__setattr__(self, "_n_sets", n_sets)
+        object.__setattr__(self, "line_shift", self.line_size.bit_length() - 1)
+        object.__setattr__(self, "offset_mask", self.line_size - 1)
+        object.__setattr__(self, "line_mask", ~(self.line_size - 1))
+        object.__setattr__(self, "set_mask", n_sets - 1)
 
     @property
     def n_sets(self) -> int:
-        return self.size_bytes // (self.assoc * self.line_size)
+        return self._n_sets
 
     def line_addr(self, addr: int) -> int:
         """Line-aligned address (the unit of coherence/tracking)."""
-        return addr & ~(self.line_size - 1)
+        return addr & self.line_mask
 
     def set_index(self, addr: int) -> int:
-        return (addr // self.line_size) % self.n_sets
+        return (addr >> self.line_shift) & self.set_mask
 
     def tag(self, addr: int) -> int:
         """Full line address doubles as the tag (sets are derived from it)."""
-        return self.line_addr(addr)
+        return addr & self.line_mask
 
     def lines_touched(self, addr: int, size: int) -> Iterable[int]:
-        """Line addresses spanned by an access of ``size`` bytes."""
-        first = self.line_addr(addr)
-        last = self.line_addr(addr + max(size, 1) - 1)
-        line = first
-        while line <= last:
-            yield line
-            line += self.line_size
+        """Line addresses spanned by an access of ``size`` bytes.
+
+        Almost every access fits in one line; return a 1-tuple there so
+        the caller's loop avoids generator overhead.
+        """
+        mask = self.line_mask
+        first = addr & mask
+        last = (addr + max(size, 1) - 1) & mask
+        if first == last:
+            return (first,)
+        return range(first, last + 1, self.line_size)
 
 
 class LRUSet:
@@ -84,8 +98,10 @@ class LRUSet:
         """Return the entry for ``tag`` (None if absent), updating LRU."""
         entry = self._by_tag.get(tag)
         if entry is not None and touch:
-            self._order.remove(tag)
-            self._order.append(tag)
+            order = self._order
+            if order[-1] != tag:
+                order.remove(tag)
+                order.append(tag)
         return entry
 
     def peek(self, tag: int):

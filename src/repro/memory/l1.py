@@ -26,7 +26,7 @@ from typing import List, Optional
 from .cache import CacheGeometry, LRUSet
 
 
-@dataclass
+@dataclass(slots=True)
 class L1Line:
     tag: int
     spec: bool = False
@@ -44,6 +44,8 @@ class L1Cache:
     def __init__(self, geometry: CacheGeometry):
         self.geom = geometry
         self._sets = [LRUSet(geometry.assoc) for _ in range(geometry.n_sets)]
+        self._set_shift = geometry.line_shift
+        self._set_mask = geometry.set_mask
         self.hits = 0
         self.misses = 0
         self.spec_invalidations = 0
@@ -53,15 +55,15 @@ class L1Cache:
     # ------------------------------------------------------------------
 
     def _set_for(self, line_addr: int) -> LRUSet:
-        return self._sets[self.geom.set_index(line_addr)]
+        return self._sets[(line_addr >> self._set_shift) & self._set_mask]
 
     def lookup(self, line_addr: int, touch: bool = True) -> Optional[L1Line]:
         return self._set_for(line_addr).get(line_addr, touch=touch)
 
     def access(self, line_addr: int) -> bool:
         """Reference the line; returns True on hit (updates LRU/stats)."""
-        line = self.lookup(line_addr)
-        if line is not None:
+        cset = self._sets[(line_addr >> self._set_shift) & self._set_mask]
+        if cset.get(line_addr) is not None:
             self.hits += 1
             return True
         self.misses += 1

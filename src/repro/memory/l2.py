@@ -68,7 +68,7 @@ class ContextDirectory:
         raise NotImplementedError
 
 
-@dataclass
+@dataclass(slots=True)
 class L2Entry:
     """One version of one cache line.
 
@@ -99,7 +99,7 @@ class L2Entry:
         return mask
 
 
-@dataclass
+@dataclass(slots=True)
 class Violation:
     """A dependence violation detected at the L2.
 
@@ -161,7 +161,7 @@ class L2Set:
         return None
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of an L2 access, consumed by the machine timing model."""
 
@@ -198,6 +198,11 @@ class SpeculativeL2:
         #: ablation.
         self.line_granularity_loads = line_granularity_loads
         self._sets = [L2Set(geometry.assoc) for _ in range(geometry.n_sets)]
+        # Hot-path constants (geometry is immutable).
+        self._set_shift = geometry.line_shift
+        self._set_mask = geometry.set_mask
+        self._offset_mask = geometry.offset_mask
+        self._full_line_mask = full_mask(self.n_words)
         self.victim = VictimCache(capacity=victim_entries)
         #: ctx -> set of line tags where the ctx has speculative state.
         self._ctx_lines: Dict[int, Set[int]] = {}
@@ -214,23 +219,23 @@ class SpeculativeL2:
     # ------------------------------------------------------------------
 
     def _set_for(self, tag: int) -> L2Set:
-        return self._sets[self.geom.set_index(tag)]
+        return self._sets[(tag >> self._set_shift) & self._set_mask]
 
     def word_mask(self, addr: int, size: int) -> int:
         """Word mask within the line for an access at ``addr``/``size``."""
-        line = self.geom.line_addr(addr)
-        first = (addr - line) // self.word_size
-        last = (addr + max(size, 1) - 1 - line) // self.word_size
-        last = min(last, self.n_words - 1)
-        mask = 0
-        for w in range(first, last + 1):
-            mask |= 1 << w
-        return mask
+        ws = self.word_size
+        off = addr & self._offset_mask
+        first = off // ws
+        last = (off + (size if size > 1 else 1) - 1) // ws
+        if last >= self.n_words:
+            last = self.n_words - 1
+        return ((1 << (last - first + 1)) - 1) << first
 
     def _versions(self, tag: int) -> List[L2Entry]:
         """All on-chip versions of a line (set + victim cache)."""
         versions = self._set_for(tag).versions_of(tag)
-        versions.extend(self.victim.versions_of(tag))
+        if len(self.victim):
+            versions.extend(self.victim.versions_of(tag))
         return versions
 
     def _note_ctx_line(self, ctx: int, tag: int) -> None:
@@ -294,7 +299,7 @@ class SpeculativeL2:
             result.entry = entry
             if ctx is not None and exposed:
                 mask = (
-                    full_mask(self.n_words)
+                    self._full_line_mask
                     if self.line_granularity_loads
                     else self.word_mask(addr, size)
                 )

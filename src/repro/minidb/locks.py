@@ -17,6 +17,7 @@ run one transaction at a time.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -54,7 +55,11 @@ class LockManager:
         self.conflicts = 0
 
     def _bucket_of(self, resource: Tuple) -> int:
-        return hash(resource) % self.n_buckets
+        # zlib.crc32, not hash(): built-in string hashing is randomized
+        # per process (PYTHONHASHSEED), and bucket indices become trace
+        # addresses — they must be stable across processes so parallel
+        # workers and the on-disk trace cache see identical traces.
+        return zlib.crc32(repr(resource).encode()) % self.n_buckets
 
     def _instrument(self, resource: Tuple, write: bool) -> None:
         rec = self.recorder

@@ -128,6 +128,18 @@ class Machine:
         self._seq = 0
         self._epochs_total = 0
         self._deadlock_breaks = 0
+        # Hot-loop constants hoisted out of the per-record dispatch; the
+        # config is immutable for the lifetime of a Machine.
+        tls = self.config.tls
+        self._overlap_loads = self.config.overlap_loads
+        self._mshr_entries = self.config.mshr_entries
+        self._subthread_start_cost = tls.subthread_start_cost
+        #: Either per-load predictor policy enabled?  When False the
+        #: predictor/synchronization checks are skipped entirely on the
+        #: load fast path (both always return False in that case).
+        self._load_policies = (
+            tls.predictor_subthreads or tls.sync_predicted_loads
+        )
 
     # ------------------------------------------------------------------
     # Public API
@@ -169,16 +181,21 @@ class Machine:
             # Fork chain: epoch k is spawned by its predecessor, so it
             # begins k spawn latencies after the region opens.
             self._start_next_epoch(cpu, start + i * spawn)
+        heap = self._heap
+        cpus = self.cpus
+        heappop = heapq.heappop
+        step = self._step_cpu
         while self._region_remaining > 0:
-            if not self._heap:
+            if not heap:
                 self._break_deadlock()
                 continue
-            cycle, _seq, version, cpu_idx = heapq.heappop(self._heap)
-            cpu = self.cpus[cpu_idx]
+            cycle, _seq, version, cpu_idx = heappop(heap)
+            cpu = cpus[cpu_idx]
             if version != cpu.event_version:
                 continue  # superseded by a rewind/wake
-            self.now = max(self.now, cycle)
-            self._step_cpu(cpu, cycle)
+            if cycle > self.now:
+                self.now = cycle
+            step(cpu, cycle)
 
     def _start_next_epoch(self, cpu: _CPU, now: float) -> None:
         trace = self._pending[self._pending_idx]
@@ -220,18 +237,22 @@ class Machine:
         epoch = cpu.epoch
         if epoch is None or epoch.status != EpochStatus.RUNNING:
             return
-        if epoch.done:
+        records = epoch.trace.records
+        if epoch.cursor >= len(records):  # inline epoch.done
             self._finish_epoch(cpu, epoch, now)
             return
-        # Sub-thread start policy (between records).
-        if self.engine.maybe_start_subthread(epoch, now):
+        # Sub-thread start policy (between records).  Non-speculative
+        # epochs never open sub-threads, so skip the engine call for them.
+        if epoch.speculative and self.engine.maybe_start_subthread(
+            epoch, now
+        ):
             self._emit(now, SUBTHREAD_START, epoch)
-            cost = self.config.tls.subthread_start_cost
+            cost = self._subthread_start_cost
             if cost:
                 epoch.accrue(Category.OVERHEAD, cost)
                 self._schedule(cpu, now + cost)
                 return
-        rec = epoch.trace.records[epoch.cursor]
+        rec = records[epoch.cursor]
         kind = rec[0]
         if kind == Rec.COMPUTE:
             self._do_compute(cpu, epoch, rec[1], Category.BUSY, now)
@@ -307,7 +328,7 @@ class Machine:
         cycles = cpu.pipeline.compute_cycles(chunk)
         mlp_stall = (
             self._mlp_stall(cpu, epoch, now)
-            if self.config.overlap_loads else 0.0
+            if self._overlap_loads else 0.0
         )
         epoch.retire(chunk)
         epoch.accrue(category, cycles)
@@ -337,13 +358,13 @@ class Machine:
         geom = self.l2.geom
         if cpu.sync_skip:
             cpu.sync_skip = False
-        else:
+        elif self._load_policies:
             # Section 5.1 policy: checkpoint right before a predicted-
             # violating load (zero-cost by default; a nonzero cost delays
             # the load by one event).
             if self.engine.maybe_start_predictor_subthread(epoch, pc, now):
                 self._emit(now, SUBTHREAD_START, epoch, detail="predictor")
-                cost = self.config.tls.subthread_start_cost
+                cost = self._subthread_start_cost
                 if cost:
                     epoch.accrue(Category.OVERHEAD, cost)
                     self._schedule(cpu, now + cost)
@@ -358,59 +379,72 @@ class Machine:
                 self._sync_waiters.setdefault(line, []).append(cpu.index)
                 return
         epoch.retire(1)
+        l1 = cpu.l1
+        l2 = self.l2
+        engine = self.engine
+        msys = self.msys
+        line_size = geom.line_size
+        speculative = epoch.speculative
+        access_end = addr + (size if size > 1 else 1)
         stall = 0.0
         for line in geom.lines_touched(addr, size):
-            sub_addr, sub_size = self._sub_access(
-                addr, size, line, geom.line_size
-            )
-            l1_hit = cpu.l1.access(line)
-            if l1_hit:
-                if epoch.speculative and not cpu.l1.is_notified(line):
-                    mask = self.l2.word_mask(sub_addr, sub_size)
+            # Clip the access to this line (inline of _sub_access).
+            sub_addr = addr if addr >= line else line
+            sub_end = line + line_size
+            if access_end < sub_end:
+                sub_end = access_end
+            sub_size = sub_end - sub_addr
+            if sub_size < 1:
+                sub_size = 1
+            if l1.access(line):
+                if speculative and not l1.is_notified(line):
+                    mask = l2.word_mask(sub_addr, sub_size)
                     if not epoch.covers_load(line, mask):
                         # First exposed access to this line by this epoch:
                         # notify the L2 so its speculative-load bit is set.
                         # The notification is asynchronous (piggybacks on
                         # the write-through traffic): it reserves a bank
                         # slot but does not stall the CPU.
-                        _result, exposed = self.engine.load(
+                        _result, exposed = engine.load(
                             epoch, sub_addr, sub_size, pc
                         )
-                        self.msys.banks.reserve(line, now)
+                        msys.banks.reserve(line, now)
                         if exposed:
-                            cpu.l1.mark_spec(
+                            l1.mark_spec(
                                 line,
                                 notified=True,
                                 subidx=epoch.current_subthread.index,
                             )
                 continue
-            result, exposed = self.engine.load(epoch, sub_addr, sub_size, pc)
+            result, exposed = engine.load(epoch, sub_addr, sub_size, pc)
             if result.hit:
-                ready = self.msys.l2_access(line, now)
+                ready = msys.l2_access(line, now)
             else:
-                ready = self.msys.memory_access(line, now)
+                ready = msys.memory_access(line, now)
             extra = result.memory_accesses - (0 if result.hit else 1)
             for _ in range(max(0, extra)):
-                self.msys.extra_memory_transfer(now)
-            self._apply_inclusion(result.invalidated_lines)
-            if self.config.overlap_loads:
+                msys.extra_memory_transfer(now)
+            if result.invalidated_lines:
+                self._apply_inclusion(result.invalidated_lines)
+            if self._overlap_loads:
                 # Non-blocking: the miss occupies an MSHR; the CPU stalls
                 # only when the MSHRs are exhausted (plus any ROB-window
                 # drain computed at retirement time).
-                if len(cpu.outstanding) >= self.config.mshr_entries:
+                if len(cpu.outstanding) >= self._mshr_entries:
                     oldest_ready, _ = cpu.outstanding.pop(0)
                     stall = max(stall, oldest_ready - now)
                 cpu.outstanding.append(
                     (ready, cpu.pipeline.instructions_retired)
                 )
             else:
-                stall = max(stall, ready - now)
+                if ready - now > stall:
+                    stall = ready - now
             subidx = (
-                epoch.current_subthread.index if epoch.speculative else -1
+                epoch.current_subthread.index if speculative else -1
             )
-            cpu.l1.fill(line, spec=epoch.speculative, subidx=subidx)
-            if epoch.speculative and exposed:
-                cpu.l1.mark_spec(line, notified=True, subidx=subidx)
+            l1.fill(line, spec=speculative, subidx=subidx)
+            if speculative and exposed:
+                l1.mark_spec(line, notified=True, subidx=subidx)
         epoch.accrue(Category.BUSY, 1)
         if stall > 0:
             epoch.accrue(Category.MISS, stall)
@@ -421,28 +455,41 @@ class Machine:
         _, addr, size, pc = rec
         epoch.retire(1)
         geom = self.l2.geom
+        engine = self.engine
+        msys = self.msys
+        cpus = self.cpus
+        l1 = cpu.l1
+        line_size = geom.line_size
+        speculative = epoch.speculative
+        access_end = addr + (size if size > 1 else 1)
         self_rewound = False
         for line in geom.lines_touched(addr, size):
-            sub_addr, sub_size = self._sub_access(
-                addr, size, line, geom.line_size
-            )
-            result, rewinds = self.engine.store(epoch, sub_addr, sub_size, pc)
+            # Clip the access to this line (inline of _sub_access).
+            sub_addr = addr if addr >= line else line
+            sub_end = line + line_size
+            if access_end < sub_end:
+                sub_end = access_end
+            sub_size = sub_end - sub_addr
+            if sub_size < 1:
+                sub_size = 1
+            result, rewinds = engine.store(epoch, sub_addr, sub_size, pc)
             # Write-through: the store reserves bandwidth but the CPU does
             # not wait for it (store buffer).
-            self.msys.banks.reserve(line, now)
+            msys.banks.reserve(line, now)
             for _ in range(result.memory_accesses):
-                self.msys.extra_memory_transfer(now)
-            self._apply_inclusion(result.invalidated_lines)
+                msys.extra_memory_transfer(now)
+            if result.invalidated_lines:
+                self._apply_inclusion(result.invalidated_lines)
             # Write-invalidate coherence: drop stale copies in other L1s.
-            for other in self.cpus:
+            for other in cpus:
                 if other is not cpu:
                     other.l1.invalidate(line)
-            cpu.l1.fill(
+            l1.fill(
                 line,
-                spec=epoch.speculative,
+                spec=speculative,
                 subidx=(
                     epoch.current_subthread.index
-                    if epoch.speculative else -1
+                    if speculative else -1
                 ),
             )
             # Rewinds must be applied before waking synchronized loads:
@@ -730,6 +777,10 @@ class Machine:
         stats.l2_misses = self.l2.misses
         stats.l1_hits = sum(c.l1.hits for c in self.cpus)
         stats.l1_misses = sum(c.l1.misses for c in self.cpus)
+        stats.l1_spec_invalidations = sum(
+            c.l1.spec_invalidations for c in self.cpus
+        )
+        stats.load_predictor_entries = len(self.engine.load_predictor)
         stats.victim_spills = self.l2.victim_spills
         stats.overflow_squashes = self.l2.overflow_squashes
         stats.branch_mispredictions = sum(

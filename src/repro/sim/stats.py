@@ -32,6 +32,9 @@ class SimulationStats:
     l2_misses: int = 0
     l1_hits: int = 0
     l1_misses: int = 0
+    l1_spec_invalidations: int = 0
+    #: PCs resident in the violating-load predictor at end of run.
+    load_predictor_entries: int = 0
     victim_spills: int = 0
     overflow_squashes: int = 0
     branch_mispredictions: int = 0

@@ -1,0 +1,147 @@
+"""Tests for the parallel job runner and the persistent trace cache.
+
+Determinism is the acceptance gate for the parallel harness: fanning
+simulations out over worker processes (or replaying a disk-cached trace)
+must produce byte-identical exported results, not just statistically
+similar ones.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.harness import (
+    ExperimentContext,
+    JobRunner,
+    SimJob,
+    TraceSpec,
+    materialize,
+    run_figure5,
+    spec_key,
+)
+from repro.harness.export import export_json
+from repro.harness.parallel import run_jobs_parallel
+from repro.harness.tracecache import cache_path
+from repro.minidb import EngineOptions
+from repro.sim import ExecutionMode, MachineConfig
+from repro.tpcc import TPCCScale, generate_workload
+from repro.trace import workload_to_dict
+
+
+def _tiny_spec(**overrides):
+    base = dict(
+        benchmark="new_order",
+        tls_mode=True,
+        n_transactions=2,
+        seed=42,
+        scale=TPCCScale.tiny(),
+    )
+    base.update(overrides)
+    return TraceSpec(**base)
+
+
+class TestSpecKey:
+    def test_stable_across_calls(self):
+        assert spec_key(_tiny_spec()) == spec_key(_tiny_spec())
+
+    def test_differs_by_seed(self):
+        assert spec_key(_tiny_spec()) != spec_key(_tiny_spec(seed=43))
+
+    def test_differs_by_engine_options(self):
+        plain = _tiny_spec()
+        tuned = _tiny_spec(
+            options=dataclasses.replace(
+                EngineOptions.optimized(), shared_log_tail=True
+            )
+        )
+        assert spec_key(plain) != spec_key(tuned)
+
+    def test_resolved_defaults_match_explicit(self):
+        # A spec with options left to default keys the same as one that
+        # spells the default out — the cache must not fork on that.
+        explicit = _tiny_spec(options=EngineOptions.optimized())
+        assert spec_key(_tiny_spec()) == spec_key(explicit)
+
+
+class TestTraceCache:
+    def test_hit_equals_fresh_generation(self, tmp_path):
+        spec = _tiny_spec()
+        first = materialize(spec, cache_dir=tmp_path)   # miss: generates
+        cached = materialize(spec, cache_dir=tmp_path)  # hit: from disk
+        fresh = generate_workload(
+            "new_order", tls_mode=True, n_transactions=2,
+            scale=TPCCScale.tiny(),
+        ).trace
+        assert workload_to_dict(cached) == workload_to_dict(first)
+        assert workload_to_dict(cached) == workload_to_dict(fresh)
+
+    def test_miss_writes_file(self, tmp_path):
+        spec = _tiny_spec()
+        materialize(spec, cache_dir=tmp_path)
+        path = cache_path(spec, tmp_path)
+        assert path.exists()
+        assert "new_order" in path.name and "tls" in path.name
+
+    def test_corrupt_entry_regenerated(self, tmp_path):
+        spec = _tiny_spec()
+        materialize(spec, cache_dir=tmp_path)
+        path = cache_path(spec, tmp_path)
+        path.write_text("{not json")
+        trace = materialize(spec, cache_dir=tmp_path)
+        assert trace.instruction_count > 0
+        # The bad entry was replaced with a loadable one.
+        json.loads(path.read_text())
+
+    def test_no_cache_dir_generates(self):
+        trace = materialize(_tiny_spec(), cache_dir=None)
+        assert trace.instruction_count > 0
+
+
+class TestSimJob:
+    def test_requires_spec_or_trace(self):
+        with pytest.raises(ValueError):
+            SimJob(config=MachineConfig())
+
+    def test_rejects_both(self):
+        spec = _tiny_spec()
+        trace = materialize(spec, cache_dir=None)
+        with pytest.raises(ValueError):
+            SimJob(config=MachineConfig(), spec=spec, trace=trace)
+
+
+class TestParallelDeterminism:
+    """Serial and parallel execution must be byte-identical."""
+
+    def _export(self, tmp_path, name, jobs):
+        ctx = ExperimentContext(
+            n_transactions=2, scale=TPCCScale.tiny(),
+            runner=JobRunner(jobs=jobs),
+        )
+        result = run_figure5(ctx, benchmarks=["new_order"])
+        path = tmp_path / name
+        export_json(result, path)
+        return path
+
+    def test_figure5_serial_vs_jobs2(self, tmp_path):
+        serial = self._export(tmp_path, "serial.json", jobs=1)
+        parallel = self._export(tmp_path, "parallel.json", jobs=2)
+        assert serial.read_bytes() == parallel.read_bytes()
+
+    def test_run_jobs_parallel_preserves_order(self):
+        trace = materialize(_tiny_spec(), cache_dir=None)
+        jobs = [
+            SimJob(config=MachineConfig.for_mode(mode), trace=trace)
+            for mode in (
+                ExecutionMode.BASELINE,
+                ExecutionMode.NO_SUBTHREAD,
+                ExecutionMode.BASELINE,
+            )
+        ]
+        serial = [JobRunner().run_one(j) for j in jobs]
+        parallel = run_jobs_parallel(jobs, n_workers=2)
+        assert [s.total_cycles for s in parallel] == [
+            s.total_cycles for s in serial
+        ]
+        # Same config twice → same stats, in the submitted positions.
+        assert parallel[0].total_cycles == parallel[2].total_cycles

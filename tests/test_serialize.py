@@ -10,6 +10,15 @@ from repro.trace import (
     workload_from_dict,
     workload_to_dict,
 )
+from repro.trace.events import (
+    EpochTrace,
+    Op,
+    ParallelRegion,
+    Rec,
+    SerialSegment,
+    TransactionTrace,
+    WorkloadTrace,
+)
 
 
 @pytest.fixture(scope="module")
@@ -53,6 +62,74 @@ class TestRoundTrip:
         b = Machine(cfg).run(again)
         assert a.total_cycles == b.total_cycles
         assert a.primary_violations == b.primary_violations
+
+
+class TestAllRecordKinds:
+    """Every record layout survives a disk round trip.
+
+    The persistent trace cache (repro.harness.tracecache) stores traces
+    through this serializer, so every kind the generator can emit —
+    including the latch records, which the TPC-C fixture above only
+    produces under contention — must round-trip exactly.
+    """
+
+    # One record of each of the 8 kinds, per the layouts documented in
+    # repro.trace.events.
+    ALL_KINDS = [
+        (Rec.COMPUTE, 17),
+        (Rec.OP, Op.INT_DIV, 3),
+        (Rec.LOAD, 0x1234, 8, 501),
+        (Rec.STORE, 0xFFF8, 16, 502),  # crosses a line boundary
+        (Rec.BRANCH, 503, True),
+        (Rec.LATCH_ACQ, 7, 504),
+        (Rec.LATCH_REL, 7),
+        (Rec.TLS_OVERHEAD, 5),
+    ]
+
+    def _workload(self):
+        return WorkloadTrace(
+            name="kinds",
+            transactions=[
+                TransactionTrace(
+                    name="t",
+                    segments=[
+                        SerialSegment(records=list(self.ALL_KINDS)),
+                        ParallelRegion(
+                            epochs=[
+                                EpochTrace(0, list(self.ALL_KINDS)),
+                                EpochTrace(1, list(reversed(
+                                    self.ALL_KINDS
+                                ))),
+                            ]
+                        ),
+                    ],
+                )
+            ],
+        )
+
+    def test_covers_every_kind(self):
+        kinds = {r[0] for r in self.ALL_KINDS}
+        assert kinds == set(Rec.NAMES), "update ALL_KINDS for new kinds"
+
+    def test_dict_round_trip(self):
+        wl = self._workload()
+        again = workload_from_dict(workload_to_dict(wl))
+        serial, region = again.transactions[0].segments
+        assert serial.records == self.ALL_KINDS
+        assert region.epochs[0].records == self.ALL_KINDS
+        assert region.epochs[1].records == list(reversed(self.ALL_KINDS))
+
+    def test_file_round_trip_bytes_stable(self, tmp_path):
+        wl = self._workload()
+        p1, p2 = tmp_path / "a.json", tmp_path / "b.json"
+        save_workload(wl, p1)
+        save_workload(load_workload(p1), p2)
+        assert p1.read_bytes() == p2.read_bytes()
+
+    def test_records_stay_tuples(self):
+        again = workload_from_dict(workload_to_dict(self._workload()))
+        for rec in again.transactions[0].segments[0].records:
+            assert isinstance(rec, tuple)
 
 
 class TestValidation:
