@@ -490,12 +490,80 @@ class TLSEngine:
     def oldest_active(self) -> Optional[EpochExecution]:
         return self.active.get(self.commit_horizon)
 
-    def check_invariants(self) -> None:
-        self.l2.check_invariants()
+    def check_invariants(self, deep: bool = True) -> None:
+        """Protocol-state invariants; raises AssertionError on violation.
+
+        ``deep=False`` skips the L2 structural sweep (which is
+        proportional to cache size) so the cycle-level checker can run
+        the protocol checks at a higher frequency than the memory-system
+        sweep.
+        """
+        if deep:
+            self.l2.check_invariants()
+        assert set(self.start_tables) == set(self.active), (
+            "start tables out of sync with active epochs"
+        )
+        n_ctx = self.config.max_subthreads
         for order, epoch in self.active.items():
             assert epoch.order == order
+            assert self.commit_horizon <= order < self._next_order, (
+                f"active epoch order {order} outside "
+                f"[{self.commit_horizon}, {self._next_order})"
+            )
             ctxs = epoch.all_ctxs()
             assert len(set(ctxs)) == len(ctxs), "duplicate contexts"
+            lo = epoch.cpu * n_ctx
+            free = self._ctx_free[epoch.cpu]
             for i, ctx in enumerate(ctxs):
+                assert lo <= ctx < lo + n_ctx, (
+                    f"ctx {ctx} outside cpu {epoch.cpu}'s context range"
+                )
+                assert ctx not in free, f"live ctx {ctx} also in free pool"
                 assert self._ctx_order[ctx] == order
                 assert self._ctx_subidx[ctx] == i
+        for cpu, pool in self._ctx_free.items():
+            assert len(set(pool)) == len(pool), (
+                f"duplicate ctx in cpu {cpu}'s free pool"
+            )
+            lo = cpu * n_ctx
+            for ctx in pool:
+                assert lo <= ctx < lo + n_ctx, (
+                    f"ctx {ctx} in wrong cpu's free pool ({cpu})"
+                )
+        self._check_start_tables()
+
+    def _check_start_tables(self) -> None:
+        """Sub-thread start-table monotonicity (Figure 4(b)).
+
+        For a fixed sender epoch, later sender sub-threads must map to
+        our sub-thread indices that are >= those of earlier sender
+        sub-threads: sender sub-threads begin in time order, and every
+        receiver rewind clamps recorded indices (truncate_after_rewind),
+        which preserves the ordering.  Entries for sender sub-threads
+        that no longer exist (the sender rewound past them) are stale and
+        never queried, so they are exempt.  All recorded indices must
+        point at a live receiver sub-thread.
+        """
+        for order, table in self.start_tables.items():
+            receiver = self.active[order]
+            n_sub = len(receiver.subthreads)
+            per_sender: Dict[int, List[Tuple[int, int]]] = {}
+            for (s_order, s_idx), our_idx in table._entries.items():
+                assert 0 <= our_idx < max(n_sub, 1), (
+                    f"epoch {order}'s start table points at sub-thread "
+                    f"{our_idx} but only {n_sub} exist"
+                )
+                sender = self.active.get(s_order)
+                if sender is None or s_idx >= len(sender.subthreads):
+                    continue  # stale entry; never queried
+                per_sender.setdefault(s_order, []).append((s_idx, our_idx))
+            for s_order, pairs in per_sender.items():
+                pairs.sort()
+                prev = -1
+                for s_idx, our_idx in pairs:
+                    assert our_idx >= prev, (
+                        f"epoch {order}'s start table not monotone for "
+                        f"sender {s_order}: sub-thread {s_idx} -> "
+                        f"{our_idx} after -> {prev}"
+                    )
+                    prev = our_idx

@@ -113,6 +113,14 @@ def main(argv=None) -> int:
         action="store_true",
         help="regenerate traces in memory; do not touch the disk cache",
     )
+    parser.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help=(
+            "run every simulation with cycle-level invariant checking "
+            "(repro.verify.invariants); slower, for validation runs"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.scale == "paper":
@@ -128,6 +136,9 @@ def main(argv=None) -> int:
     runner = JobRunner(
         jobs=args.jobs if args.jobs > 0 else (os.cpu_count() or 1),
         trace_cache=cache_dir,
+        config_overrides=(
+            {"check_invariants": True} if args.check_invariants else None
+        ),
     )
     ctx = ExperimentContext(
         n_transactions=args.transactions, seed=args.seed, scale=scale,

@@ -18,6 +18,7 @@ Two rules keep the workers cheap and picklable:
 
 from __future__ import annotations
 
+import functools
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 
@@ -53,15 +54,21 @@ def _warm_spec(spec: TraceSpec) -> None:
     _worker_trace(spec)
 
 
-def _run_job(job: "SimJob") -> SimulationStats:
+def _run_job(job: "SimJob", config_overrides=None) -> SimulationStats:
     trace = job.trace if job.trace is not None else _worker_trace(job.spec)
-    return Machine(job.config).run(trace)
+    config = job.config
+    if config_overrides:
+        import dataclasses
+
+        config = dataclasses.replace(config, **config_overrides)
+    return Machine(config).run(trace)
 
 
 def run_jobs_parallel(
     jobs: Sequence["SimJob"],
     n_workers: int,
     trace_cache=None,
+    config_overrides=None,
 ) -> List[SimulationStats]:
     """Run a job list over ``n_workers`` processes, results in job order."""
     jobs = list(jobs)
@@ -79,4 +86,5 @@ def run_jobs_parallel(
                 if job.spec is not None:
                     unique.setdefault(spec_key(job.spec), job.spec)
             list(pool.map(_warm_spec, unique.values()))
-        return list(pool.map(_run_job, jobs, chunksize=1))
+        run = functools.partial(_run_job, config_overrides=config_overrides)
+        return list(pool.map(run, jobs, chunksize=1))

@@ -54,6 +54,11 @@ class JobRunner:
 
     jobs: int = 1
     trace_cache: Optional[Union[str, Path]] = None
+    #: Field overrides applied (dataclasses.replace) to every job's
+    #: MachineConfig just before simulation — how harness-wide switches
+    #: such as ``--check-invariants`` reach configs the drivers build
+    #: themselves.
+    config_overrides: Optional[Dict[str, object]] = None
     _memo: Dict[str, WorkloadTrace] = field(
         default_factory=dict, repr=False
     )
@@ -70,9 +75,14 @@ class JobRunner:
         """Install an already-generated trace under its spec's key."""
         self._memo.setdefault(spec_key(spec), trace)
 
+    def _effective_config(self, config: MachineConfig) -> MachineConfig:
+        if not self.config_overrides:
+            return config
+        return dataclasses.replace(config, **self.config_overrides)
+
     def run_one(self, job: SimJob) -> SimulationStats:
         trace = job.trace if job.trace is not None else self.trace_for(job.spec)
-        return Machine(job.config).run(trace)
+        return Machine(self._effective_config(job.config)).run(trace)
 
     def run(self, sim_jobs: Iterable[SimJob]) -> List[SimulationStats]:
         """Run jobs, returning stats in job order regardless of ``jobs``."""
@@ -80,7 +90,10 @@ class JobRunner:
         if self.jobs > 1 and len(sim_jobs) > 1:
             from .parallel import run_jobs_parallel
 
-            return run_jobs_parallel(sim_jobs, self.jobs, self.trace_cache)
+            return run_jobs_parallel(
+                sim_jobs, self.jobs, self.trace_cache,
+                config_overrides=self.config_overrides,
+            )
         return [self.run_one(job) for job in sim_jobs]
 
 

@@ -506,9 +506,16 @@ class SpeculativeL2:
                     entry.owner = COMMITTED
                     entry.dirty = True
                     entry.spec_mod.clear()
-                    # Drop the stale committed version(s), if any remain.
+                    # Drop the stale committed version(s), if any remain,
+                    # preserving load bits later epochs recorded on them
+                    # (their loads of words this epoch never wrote are
+                    # still live dependences).
                     for other in self._versions(tag):
                         if other is not entry and other.owner == COMMITTED:
+                            for ctx, mask in other.spec_loaded.items():
+                                entry.spec_loaded[ctx] = (
+                                    entry.spec_loaded.get(ctx, 0) | mask
+                                )
                             self._drop(other)
                 for ctx in ctx_list:
                     entry.spec_loaded.pop(ctx, None)
@@ -527,14 +534,45 @@ class SpeculativeL2:
         for ctx in ctx_list:
             tags.update(self._ctx_lines.pop(ctx, ()))
         for tag in sorted(tags):
+            doomed = []
             for entry in self._versions(tag):
                 for ctx in ctx_list:
                     entry.spec_loaded.pop(ctx, None)
                     if entry.owner == order:
                         entry.spec_mod.pop(ctx, None)
                 if entry.owner == order and not entry.spec_mod:
-                    self._drop(entry)
+                    doomed.append(entry)
+            for entry in doomed:
+                # Logically-later epochs that loaded from this version
+                # recorded their exposed-load bits here; those bits must
+                # survive the squash or the readers' future violations
+                # are silently missed (their L1 lines stay ``notified``
+                # and never re-inform the L2).
+                if entry.spec_loaded and not self._rehome_load_bits(entry):
+                    continue  # entry recycled as the committed version
+                self._drop(entry)
         return sorted(tags)
+
+    def _rehome_load_bits(self, entry: L2Entry) -> bool:
+        """Move surviving ``spec_loaded`` bits off a doomed version.
+
+        Merges them into the line's committed version when one is on
+        chip (returns True: caller drops ``entry``); otherwise recycles
+        ``entry`` itself as a clean committed copy of the line so the
+        bits keep a home (returns False: caller must keep it).
+        """
+        for other in self._versions(entry.tag):
+            if other is not entry and other.owner == COMMITTED:
+                for ctx, mask in entry.spec_loaded.items():
+                    other.spec_loaded[ctx] = (
+                        other.spec_loaded.get(ctx, 0) | mask
+                    )
+                entry.spec_loaded.clear()
+                return True
+        entry.owner = COMMITTED
+        entry.dirty = False
+        entry.spec_mod.clear()
+        return False
 
     def _drop(self, entry: L2Entry) -> None:
         if self.victim.contains(entry):

@@ -73,6 +73,13 @@ class MachineConfig:
     #: epochs on CPU 0, which is how the TLS-SEQ bar is produced: the
     #: TLS-transformed trace with its software overheads, run sequentially.
     region_cpus: int = None
+    #: Opt-in cycle-level invariant checking (repro.verify.invariants):
+    #: the machine validates protocol and memory-system invariants as it
+    #: runs.  Costs simulation time; off for all paper numbers.
+    check_invariants: bool = False
+    #: Steps between full invariant sweeps when check_invariants is on
+    #: (the O(1) commit-horizon check runs every step regardless).
+    invariant_interval: int = 64
 
     def l1_geometry(self) -> CacheGeometry:
         return CacheGeometry(

@@ -94,12 +94,23 @@ class Machine:
     """A simulated CMP executing one workload trace."""
 
     def __init__(self, config: Optional[MachineConfig] = None,
-                 record_events: bool = False):
+                 record_events: bool = False, observer=None):
         self.config = config or MachineConfig()
         #: Timeline events (see repro.sim.timeline); empty unless
         #: record_events is True — recording costs time and memory.
         self.record_events = record_events
         self.events: List[TimelineEvent] = []
+        #: Optional commit-log observer (repro.verify.observer): receives
+        #: on_epoch_start / on_op / on_rewind / on_commit callbacks.
+        self.observer = observer
+        self._invariants = None
+        if self.config.check_invariants:
+            # Imported lazily: repro.verify imports repro.sim.
+            from ..verify.invariants import InvariantChecker
+
+            self._invariants = InvariantChecker(
+                interval=self.config.invariant_interval
+            )
         self.l2 = SpeculativeL2(
             geometry=self.config.l2_geometry(),
             directory=None,  # bound to the engine below
@@ -156,6 +167,8 @@ class Machine:
                     self._run_region(segment.epochs)
                 else:
                     raise TypeError(f"unknown segment {segment!r}")
+        if self._invariants is not None:
+            self._invariants.on_finish(self)
         return self._collect_stats()
 
     # ------------------------------------------------------------------
@@ -207,6 +220,8 @@ class Machine:
         cpu.epoch = epoch
         cpu.l1.clear_spec_marks()
         self._epochs_total += 1
+        if self.observer is not None:
+            self.observer.on_epoch_start(epoch)
         self._emit(now, EPOCH_START, epoch)
         self._schedule(cpu, now)
 
@@ -237,6 +252,8 @@ class Machine:
         epoch = cpu.epoch
         if epoch is None or epoch.status != EpochStatus.RUNNING:
             return
+        if self._invariants is not None:
+            self._invariants.on_step(self)
         records = epoch.trace.records
         if epoch.cursor >= len(records):  # inline epoch.done
             self._finish_epoch(cpu, epoch, now)
@@ -379,6 +396,8 @@ class Machine:
                 self._sync_waiters.setdefault(line, []).append(cpu.index)
                 return
         epoch.retire(1)
+        if self.observer is not None:
+            self.observer.on_op(epoch, Rec.LOAD, addr, size, pc)
         l1 = cpu.l1
         l2 = self.l2
         engine = self.engine
@@ -454,6 +473,8 @@ class Machine:
     def _do_store(self, cpu: _CPU, epoch: EpochExecution, rec, now: float):
         _, addr, size, pc = rec
         epoch.retire(1)
+        if self.observer is not None:
+            self.observer.on_op(epoch, Rec.STORE, addr, size, pc)
         geom = self.l2.geom
         engine = self.engine
         msys = self.msys
@@ -630,6 +651,8 @@ class Machine:
             vcpu = self.cpus[epoch.cpu]
             if vcpu.epoch is not epoch:
                 continue  # epoch already gone (should not happen)
+            if self.observer is not None:
+                self.observer.on_rewind(epoch, action.subthread_idx)
             # A victim blocked on a latch stops waiting and re-executes;
             # the blocked interval is covered by the wall-interval Failed
             # charge below.
@@ -702,6 +725,8 @@ class Machine:
         # that were waiting out earlier epochs.
         self._wake_eligible_sync_waiters(now)
         for done in committed:
+            if self.observer is not None:
+                self.observer.on_commit(done)
             self._emit(now, COMMIT, done)
             dcpu = self.cpus[done.cpu]
             dcpu.totals.merge(done.drain_pending())
@@ -790,5 +815,6 @@ class Machine:
             c.pipeline.instructions_retired for c in self.cpus
         )
         stats.epochs_total = self._epochs_total
+        stats.deadlock_breaks = self._deadlock_breaks
         stats.finalize_idle()
         return stats

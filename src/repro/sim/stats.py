@@ -41,6 +41,8 @@ class SimulationStats:
     instructions_retired: int = 0
     epochs_total: int = 0
     failed_instruction_replays: int = 0
+    #: Times the machine's deadlock safety net had to force a rewind.
+    deadlock_breaks: int = 0
 
     def finalize_idle(self) -> None:
         """Attribute every unaccounted CPU-cycle to Idle."""

@@ -1,0 +1,59 @@
+"""Differential-oracle verification subsystem.
+
+Four independent layers, each usable on its own:
+
+* :mod:`repro.verify.observer` — a machine observer that records the
+  committed-operation log (what the TLS hardware actually made globally
+  visible, in commit order, after all rewinds).
+* :mod:`repro.verify.oracle` — a serial-replay reference interpreter and
+  the equivalence check: a TLS run is correct iff its committed log
+  matches a serial execution of the epochs in logical order.
+* :mod:`repro.verify.invariants` — opt-in cycle-level invariant checking
+  (``MachineConfig.check_invariants`` / harness ``--check-invariants``)
+  of the engine protocol, L1/L2/victim speculative state, start tables,
+  and commit-order monotonicity.
+* :mod:`repro.verify.lint` — structural well-formedness checks on traces
+  (record arity/domains, latch balance and global-order acyclicity,
+  address-map coverage).
+
+``python -m repro.verify.fuzz`` ties them together: random traces under
+random machine configurations, replayed in every execution mode against
+the oracle, with minimized repro files on failure.
+"""
+
+from .invariants import InvariantChecker, InvariantError
+from .lint import (
+    LintIssue,
+    LintReport,
+    TraceLintError,
+    assert_clean,
+    lint_workload,
+)
+from .observer import CommitLog, CommitLogObserver, CommittedEpoch
+from .oracle import (
+    OracleMismatch,
+    OracleRun,
+    check_equivalence,
+    db_digest,
+    reference_execution,
+    run_with_oracle,
+)
+
+__all__ = [
+    "CommitLog",
+    "CommitLogObserver",
+    "CommittedEpoch",
+    "InvariantChecker",
+    "InvariantError",
+    "LintIssue",
+    "LintReport",
+    "OracleMismatch",
+    "OracleRun",
+    "TraceLintError",
+    "assert_clean",
+    "check_equivalence",
+    "db_digest",
+    "lint_workload",
+    "reference_execution",
+    "run_with_oracle",
+]

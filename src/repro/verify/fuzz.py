@@ -1,0 +1,483 @@
+"""Differential trace fuzzer: ``python -m repro.verify.fuzz``.
+
+Each seed deterministically draws a random workload trace (hot shared
+words, private scratch, latches under a global ordering discipline) and
+a random machine/TLS configuration, lints the trace, then replays it
+under every :class:`~repro.sim.ExecutionMode` with the commit-log
+observer attached and the serial-replay oracle checking the result.
+With ``--check-invariants`` the cycle-level invariant checker runs as
+well, at a tight sweep interval.
+
+On a failure the driver re-runs the failing (trace, config, mode) while
+shrinking the workload (drop transactions, then segments, then epochs,
+then bisect record lists) and writes a self-contained JSON repro file —
+the minimized trace in :mod:`repro.trace.serialize` format plus the full
+machine configuration — which ``--repro FILE`` replays directly.
+
+Exit status is 0 when every seed passes, 1 otherwise, so CI can run a
+fixed seed batch as a regression gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import random
+import sys
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from ..core.engine import TLSConfig
+from ..cpu.pipeline import PipelineConfig
+from ..sim import ExecutionMode, MachineConfig
+from ..trace.addressmap import AddressMap
+from ..trace.events import (
+    EpochTrace,
+    Op,
+    ParallelRegion,
+    Rec,
+    SerialSegment,
+    TransactionTrace,
+    WorkloadTrace,
+)
+from ..trace.serialize import workload_from_dict, workload_to_dict
+from .invariants import InvariantError
+from .lint import TraceLintError, assert_clean
+from .oracle import OracleMismatch, run_with_oracle
+
+REPRO_FORMAT = "repro-verify-fuzz-repro"
+
+#: Shared hot words the random epochs contend on (classic TLS hot spots).
+_AMAP = AddressMap()
+_SHARED_WORDS = (
+    [_AMAP.log_tail_addr(), _AMAP.lru_head_addr(), _AMAP.lru_tail_addr(),
+     _AMAP.txn_counter_addr(), _AMAP.results_tail_addr()]
+    + [_AMAP.page_addr(page, 32 + slot * 4)
+       for page in range(3) for slot in range(6)]
+    + [_AMAP.fsm_addr(page) for page in range(3)]
+)
+_PC_BASE = 0x0040_0000
+
+
+# ----------------------------------------------------------------------
+# Random draws
+# ----------------------------------------------------------------------
+
+
+def _random_records(
+    rng: random.Random, owner: int, n_ops: int
+) -> List[tuple]:
+    """A record list mixing compute, shared/private memory ops, latches.
+
+    Latches are acquired in increasing latch-id order and released LIFO,
+    so every random trace respects the global-order discipline the
+    linter enforces (deadlock-freedom); contention and violations come
+    from the shared words, not from broken latch nesting.
+    """
+    records: List[tuple] = []
+    held: List[int] = []
+    for _ in range(n_ops):
+        roll = rng.random()
+        if roll < 0.30:
+            records.append((Rec.COMPUTE, rng.randint(1, 120)))
+        elif roll < 0.34:
+            records.append(
+                (Rec.OP, rng.choice((Op.INT_MUL, Op.FP)), rng.randint(1, 4))
+            )
+        elif roll < 0.40:
+            records.append(
+                (Rec.BRANCH, _PC_BASE + rng.randrange(64) * 16,
+                 rng.random() < 0.8)
+            )
+        elif roll < 0.85:
+            kind = Rec.LOAD if rng.random() < 0.6 else Rec.STORE
+            if rng.random() < 0.55:
+                addr = rng.choice(_SHARED_WORDS)
+            else:
+                addr = _AMAP.app_scratch_addr(
+                    owner, rng.randrange(32) * 4
+                )
+            size = rng.choice((1, 4, 4, 8))
+            pc = _PC_BASE + rng.randrange(64) * 16
+            records.append((kind, addr, size, pc))
+        elif roll < 0.92 and len(held) < 2:
+            # Acquire a latch above everything currently held.
+            floor = (held[-1] + 1) if held else 0
+            latch = rng.randrange(floor, floor + 4)
+            records.append(
+                (Rec.LATCH_ACQ, latch, _PC_BASE + rng.randrange(64) * 16)
+            )
+            held.append(latch)
+        elif held:
+            records.append((Rec.LATCH_REL, held.pop()))
+        else:
+            records.append((Rec.TLS_OVERHEAD, rng.randint(1, 20)))
+    while held:
+        records.append((Rec.LATCH_REL, held.pop()))
+    return records
+
+
+def random_workload(rng: random.Random) -> WorkloadTrace:
+    workload = WorkloadTrace(name="fuzz")
+    for t in range(rng.randint(1, 2)):
+        txn = TransactionTrace(name=f"FUZZ-{t}")
+        txn.segments.append(
+            SerialSegment(records=_random_records(rng, owner=99, n_ops=rng.randint(1, 8)))
+        )
+        for _ in range(rng.randint(1, 2)):
+            n_epochs = rng.randint(2, 6)
+            region = ParallelRegion(
+                epochs=[
+                    EpochTrace(
+                        epoch_id=e,
+                        records=_random_records(
+                            rng, owner=e, n_ops=rng.randint(4, 40)
+                        ),
+                    )
+                    for e in range(n_epochs)
+                ]
+            )
+            txn.segments.append(region)
+        txn.segments.append(
+            SerialSegment(records=_random_records(rng, owner=99, n_ops=rng.randint(1, 6)))
+        )
+        workload.transactions.append(txn)
+    return workload
+
+
+def random_machine_config(rng: random.Random) -> MachineConfig:
+    """A random (but always geometrically valid) machine configuration.
+
+    Caches are drawn tiny so evictions, victim-cache spills, and
+    overflow squashes actually happen on short fuzz traces.
+    """
+    line_size = rng.choice((16, 32, 64))
+    l1_assoc = rng.choice((1, 2, 4))
+    l1_sets = rng.choice((4, 8, 16))
+    l2_assoc = rng.choice((2, 4))
+    l2_sets = rng.choice((8, 16, 32))
+    tls = TLSConfig(
+        max_subthreads=rng.choice((1, 2, 4, 8)),
+        subthread_spacing=rng.choice((10, 25, 100)),
+        spec_slice_limit=rng.choice((25, 100)),
+        adaptive_spacing=rng.random() < 0.3,
+        subthread_start_cost=rng.choice((0, 0, 5)),
+        violation_penalty=rng.choice((5, 20)),
+        spawn_latency=rng.choice((0, 20, 60)),
+        start_tables=rng.random() < 0.8,
+        line_granularity_loads=rng.random() < 0.7,
+        predictor_subthreads=rng.random() < 0.3,
+        sync_predicted_loads=rng.random() < 0.2,
+        value_predict_loads=rng.random() < 0.2,
+    )
+    return MachineConfig(
+        n_cpus=rng.choice((2, 4)),
+        line_size=line_size,
+        l1_size=l1_assoc * l1_sets * line_size,
+        l1_assoc=l1_assoc,
+        l2_size=l2_assoc * l2_sets * line_size,
+        l2_assoc=l2_assoc,
+        victim_entries=rng.choice((0, 2, 8, 64)),
+        pipeline=PipelineConfig(),
+        tls=tls,
+        overlap_loads=rng.random() < 0.3,
+        mshr_entries=rng.choice((2, 8)),
+        l1_subthread_tracking=rng.random() < 0.2,
+    )
+
+
+# ----------------------------------------------------------------------
+# Running and shrinking
+# ----------------------------------------------------------------------
+
+
+def _run_case(
+    workload: WorkloadTrace, config: MachineConfig
+) -> Optional[str]:
+    """Run one (workload, config) under the oracle; returns the failure
+    message, or None when the run is equivalent."""
+    try:
+        run_with_oracle(workload, config)
+    except (OracleMismatch, InvariantError, AssertionError) as exc:
+        return f"{type(exc).__name__}: {exc}"
+    except Exception as exc:  # simulator crash is a finding too
+        return f"{type(exc).__name__}: {exc}"
+    return None
+
+
+def _shrink(
+    workload: WorkloadTrace,
+    config: MachineConfig,
+    budget: int = 150,
+) -> WorkloadTrace:
+    """Greedy structural shrink keeping the failure alive.
+
+    Drops transactions, then segments, then epochs, then bisects record
+    lists.  ``budget`` caps the number of simulation re-runs.
+    """
+    runs = 0
+
+    def fails(candidate: WorkloadTrace) -> bool:
+        nonlocal runs
+        if runs >= budget:
+            return False
+        runs += 1
+        return _run_case(candidate, config) is not None
+
+    def rebuild(transactions) -> WorkloadTrace:
+        return WorkloadTrace(name=workload.name, transactions=transactions)
+
+    current = workload
+    # 1/2: drop whole transactions, then whole segments.
+    changed = True
+    while changed and runs < budget:
+        changed = False
+        txns = current.transactions
+        for i in range(len(txns) - 1, -1, -1):
+            if len(txns) <= 1:
+                break
+            candidate = rebuild(txns[:i] + txns[i + 1:])
+            if fails(candidate):
+                current = candidate
+                txns = current.transactions
+                changed = True
+        for t_idx, txn in enumerate(current.transactions):
+            for s_idx in range(len(txn.segments) - 1, -1, -1):
+                if len(txn.segments) <= 1:
+                    break
+                new_txn = TransactionTrace(
+                    name=txn.name,
+                    segments=txn.segments[:s_idx]
+                    + txn.segments[s_idx + 1:],
+                )
+                candidate = rebuild(
+                    current.transactions[:t_idx]
+                    + [new_txn]
+                    + current.transactions[t_idx + 1:]
+                )
+                if fails(candidate):
+                    current = candidate
+                    txn = new_txn
+                    changed = True
+    # 3: drop epochs inside surviving parallel regions.
+    changed = True
+    while changed and runs < budget:
+        changed = False
+        for t_idx, txn in enumerate(current.transactions):
+            for s_idx, seg in enumerate(txn.segments):
+                if not isinstance(seg, ParallelRegion):
+                    continue
+                for e_idx in range(len(seg.epochs) - 1, -1, -1):
+                    if len(seg.epochs) <= 1:
+                        break
+                    new_seg = ParallelRegion(
+                        epochs=seg.epochs[:e_idx] + seg.epochs[e_idx + 1:]
+                    )
+                    new_txn = TransactionTrace(
+                        name=txn.name,
+                        segments=txn.segments[:s_idx]
+                        + [new_seg]
+                        + txn.segments[s_idx + 1:],
+                    )
+                    candidate = rebuild(
+                        current.transactions[:t_idx]
+                        + [new_txn]
+                        + current.transactions[t_idx + 1:]
+                    )
+                    if fails(candidate):
+                        current = candidate
+                        txn = new_txn
+                        seg = new_seg
+                        changed = True
+    # 4: halve record lists while the failure survives.
+    def shrink_records(records: List[tuple]) -> List[tuple]:
+        return records[: max(1, len(records) // 2)]
+
+    changed = True
+    while changed and runs < budget:
+        changed = False
+        for t_idx, txn in enumerate(current.transactions):
+            for s_idx, seg in enumerate(txn.segments):
+                if isinstance(seg, SerialSegment):
+                    if len(seg.records) <= 1:
+                        continue
+                    new_seg = SerialSegment(
+                        records=shrink_records(seg.records)
+                    )
+                elif isinstance(seg, ParallelRegion):
+                    new_seg = ParallelRegion(
+                        epochs=[
+                            EpochTrace(
+                                epoch_id=e.epoch_id,
+                                records=shrink_records(e.records),
+                            )
+                            for e in seg.epochs
+                        ]
+                    )
+                    if all(
+                        len(e.records) <= 1 for e in seg.epochs
+                    ):
+                        continue
+                else:
+                    continue
+                new_txn = TransactionTrace(
+                    name=txn.name,
+                    segments=txn.segments[:s_idx]
+                    + [new_seg]
+                    + txn.segments[s_idx + 1:],
+                )
+                candidate = rebuild(
+                    current.transactions[:t_idx]
+                    + [new_txn]
+                    + current.transactions[t_idx + 1:]
+                )
+                if fails(candidate):
+                    current = candidate
+                    changed = True
+    return current
+
+
+# ----------------------------------------------------------------------
+# Repro files
+# ----------------------------------------------------------------------
+
+
+def config_to_dict(config: MachineConfig) -> dict:
+    return dataclasses.asdict(config)
+
+
+def config_from_dict(doc: dict) -> MachineConfig:
+    doc = dict(doc)
+    doc["pipeline"] = PipelineConfig(**doc["pipeline"])
+    doc["tls"] = TLSConfig(**doc["tls"])
+    return MachineConfig(**doc)
+
+
+def write_repro(
+    path: Path,
+    workload: WorkloadTrace,
+    config: MachineConfig,
+    mode: str,
+    seed: Optional[int],
+    error: str,
+) -> None:
+    doc = {
+        "format": REPRO_FORMAT,
+        "version": 1,
+        "seed": seed,
+        "mode": mode,
+        "error": error,
+        "config": config_to_dict(config),
+        "workload": workload_to_dict(workload),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+
+
+def run_repro(path: Path) -> Optional[str]:
+    """Replay a repro file; returns the failure message or None (fixed)."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("format") != REPRO_FORMAT:
+        raise ValueError(f"{path} is not a fuzz repro file")
+    workload = workload_from_dict(doc["workload"])
+    config = config_from_dict(doc["config"])
+    return _run_case(workload, config)
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+
+def run_seed(
+    seed: int,
+    check_invariants: bool = False,
+    out_dir: Optional[Path] = None,
+) -> List[str]:
+    """Fuzz one seed through every execution mode; returns failures."""
+    rng = random.Random(seed)
+    workload = random_workload(rng)
+    base = random_machine_config(rng)
+    failures: List[str] = []
+    try:
+        assert_clean(workload)
+    except TraceLintError as exc:
+        # Generator bug: the random workload itself broke discipline.
+        failures.append(f"seed {seed}: lint: {exc}")
+        return failures
+    for mode in ExecutionMode.ALL:
+        config = MachineConfig.for_mode(mode, base=base)
+        if check_invariants:
+            config = dataclasses.replace(
+                config, check_invariants=True, invariant_interval=16
+            )
+        error = _run_case(workload, config)
+        if error is None:
+            continue
+        small = _shrink(workload, config)
+        message = f"seed {seed} mode {mode}: {error}"
+        if out_dir is not None:
+            path = out_dir / f"fuzz-seed{seed}-{mode}.json"
+            write_repro(path, small, config, mode, seed, error)
+            message += f" [repro: {path}]"
+        failures.append(message)
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify.fuzz",
+        description=(
+            "Differential fuzzing of the TLS simulator against the "
+            "serial-replay oracle."
+        ),
+    )
+    parser.add_argument("--seeds", type=int, default=25,
+                        help="number of seeds to run (default 25)")
+    parser.add_argument("--start", type=int, default=0,
+                        help="first seed (default 0)")
+    parser.add_argument("--check-invariants", action="store_true",
+                        help="also run the cycle-level invariant checker")
+    parser.add_argument("--out", type=Path, default=Path("fuzz-failures"),
+                        metavar="DIR",
+                        help="directory for minimized repro files")
+    parser.add_argument("--repro", type=Path, default=None, metavar="FILE",
+                        help="replay one repro file instead of fuzzing")
+    parser.add_argument("-q", "--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.repro is not None:
+        error = run_repro(args.repro)
+        if error is None:
+            print(f"{args.repro}: PASS (failure no longer reproduces)")
+            return 0
+        print(f"{args.repro}: FAIL\n{error}")
+        return 1
+
+    all_failures: List[str] = []
+    for seed in range(args.start, args.start + args.seeds):
+        failures = run_seed(
+            seed,
+            check_invariants=args.check_invariants,
+            out_dir=args.out,
+        )
+        if failures:
+            all_failures.extend(failures)
+            for failure in failures:
+                print(f"FAIL {failure}")
+        elif not args.quiet:
+            print(f"ok   seed {seed}")
+    total = args.seeds
+    if all_failures:
+        print(f"\n{len(all_failures)} failure(s) over {total} seeds")
+        return 1
+    print(f"\nall {total} seeds passed "
+          f"({len(ExecutionMode.ALL)} modes each)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,101 @@
+"""Commit-log observation of a speculative simulation run.
+
+The serial-replay oracle (:mod:`repro.verify.oracle`) needs to know what
+the speculative machine *actually committed*: which epochs, in which
+order, and which memory operations each epoch's final (non-rewound)
+execution performed.  ``CommitLogObserver`` collects exactly that, via
+three hooks the :class:`~repro.sim.machine.Machine` calls when an
+observer is attached:
+
+* ``on_epoch_start(epoch)`` — an epoch (or serial pseudo-epoch) began;
+* ``on_op(epoch, kind, addr, size, pc)`` — a LOAD/STORE record executed
+  (called once per record, tagged with the current sub-thread index);
+* ``on_rewind(epoch, subthread_idx)`` — a violation rewound the epoch to
+  ``subthread_idx``: every operation performed by sub-threads at or after
+  that index is discarded (those records will re-execute);
+* ``on_commit(epoch)`` — the epoch committed; its surviving operations
+  are frozen into the commit log.
+
+The resulting :class:`CommitLog` is the speculative half of the
+differential oracle: if the TLS protocol is correct, the committed
+operation stream must be indistinguishable from a serial execution of
+the epochs in logical order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..trace.events import EpochTrace
+
+#: One committed memory operation: (kind, addr, size, pc) with kind one
+#: of Rec.LOAD / Rec.STORE.
+CommittedOp = Tuple[int, int, int, int]
+
+
+@dataclass
+class CommittedEpoch:
+    """One epoch's contribution to the commit log."""
+
+    order: int
+    trace: EpochTrace
+    ops: List[CommittedOp]
+    #: How many times this epoch was rewound before committing.
+    rewinds: int = 0
+
+
+@dataclass
+class _LiveEpoch:
+    trace: EpochTrace
+    #: (subthread_idx, kind, addr, size, pc) per executed memory record.
+    ops: List[Tuple[int, int, int, int, int]] = field(default_factory=list)
+    rewinds: int = 0
+
+
+class CommitLogObserver:
+    """Records the committed operation stream of one machine run."""
+
+    def __init__(self) -> None:
+        self._live: Dict[int, _LiveEpoch] = {}
+        #: Committed epochs in *commit* sequence (not logical order —
+        #: that equivalence is exactly what the oracle checks).
+        self.committed: List[CommittedEpoch] = []
+
+    # -- hooks called by the machine -----------------------------------
+
+    def on_epoch_start(self, epoch) -> None:
+        self._live[epoch.order] = _LiveEpoch(trace=epoch.trace)
+
+    def on_op(self, epoch, kind: int, addr: int, size: int, pc: int) -> None:
+        live = self._live[epoch.order]
+        subidx = epoch.subthreads[-1].index if epoch.subthreads else 0
+        live.ops.append((subidx, kind, addr, size, pc))
+
+    def on_rewind(self, epoch, subthread_idx: int) -> None:
+        live = self._live.get(epoch.order)
+        if live is None:
+            return
+        live.rewinds += 1
+        live.ops = [op for op in live.ops if op[0] < subthread_idx]
+
+    def on_commit(self, epoch) -> None:
+        live = self._live.pop(epoch.order)
+        self.committed.append(
+            CommittedEpoch(
+                order=epoch.order,
+                trace=live.trace,
+                ops=[op[1:] for op in live.ops],
+                rewinds=live.rewinds,
+            )
+        )
+
+    # -- introspection -------------------------------------------------
+
+    def live_orders(self) -> List[int]:
+        """Orders of epochs started but not yet committed."""
+        return sorted(self._live)
+
+
+#: Alias used in signatures: the observer doubles as the log container.
+CommitLog = CommitLogObserver

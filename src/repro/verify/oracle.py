@@ -1,0 +1,287 @@
+"""Serial-replay differential oracle for TLS/sub-thread execution.
+
+The paper's correctness claim (Section 2/Figure 4) is that speculative
+execution with sub-thread rewinds is *equivalent to running the epochs
+serially in logical order*.  This module checks that claim on every run:
+
+1. a **reference interpreter** re-executes the workload trace serially
+   (serial segments and epochs in program order) and derives the ground
+   truth: the epoch sequence, each epoch's memory-operation stream, and
+   the per-word last-writer map of the final memory image;
+2. the **speculative side** is read from a
+   :class:`~repro.verify.observer.CommitLogObserver` attached to the
+   machine: the epochs actually committed, in commit sequence, with the
+   operations their final (non-rewound) executions performed;
+3. :func:`check_equivalence` asserts the two agree — commit order is
+   exactly logical order, every epoch's committed operations are exactly
+   its trace's operations in program order (nothing lost to a rewind,
+   nothing executed twice), the final last-writer maps match word for
+   word, and no speculative state survives in the machine.
+
+Because the traces are value-free, "memory state" is abstracted as the
+per-word *last writer* (epoch position, operation index, store PC) — the
+strongest state equivalence expressible without data values, and exactly
+what the sub-thread start tables exist to protect.
+
+For workloads generated from minidb (TPC-C), :func:`db_digest` provides
+the complementary *database*-state oracle: two generation runs that must
+be logically equivalent (e.g. the SEQUENTIAL and TLS-SEQ software modes)
+can be compared table-by-table.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..sim import Machine, MachineConfig, SimulationStats
+from ..trace.events import (
+    ParallelRegion,
+    Rec,
+    SerialSegment,
+    WorkloadTrace,
+)
+from .observer import CommitLogObserver, CommittedOp
+
+#: Bytes per tracked memory word (matches the L2's word granularity).
+WORD_SIZE = 4
+
+
+class OracleMismatch(AssertionError):
+    """The speculative run is not equivalent to serial execution."""
+
+    def __init__(self, message: str, details: Optional[List[str]] = None):
+        self.details = details or []
+        text = message
+        if self.details:
+            shown = self.details[:20]
+            text += "\n  " + "\n  ".join(shown)
+            if len(self.details) > len(shown):
+                text += f"\n  ... and {len(self.details) - len(shown)} more"
+        super().__init__(text)
+
+
+@dataclass
+class ReferenceUnit:
+    """One serially-executed unit: a serial segment or one epoch."""
+
+    seq: int
+    ops: List[CommittedOp]
+
+
+@dataclass
+class ReferenceExecution:
+    """Ground truth derived by the serial reference interpreter."""
+
+    units: List[ReferenceUnit] = field(default_factory=list)
+    #: word address -> (unit seq, op index within unit, store pc).
+    last_writer: Dict[int, Tuple[int, int, int]] = field(default_factory=dict)
+
+
+def _memory_ops(records) -> List[CommittedOp]:
+    return [
+        (r[0], r[1], r[2], r[3])
+        for r in records
+        if r[0] == Rec.LOAD or r[0] == Rec.STORE
+    ]
+
+
+def _words_of(addr: int, size: int) -> range:
+    first = addr // WORD_SIZE
+    last = (addr + (size if size > 1 else 1) - 1) // WORD_SIZE
+    return range(first, last + 1)
+
+
+def reference_execution(workload: WorkloadTrace) -> ReferenceExecution:
+    """Serially interpret the workload in program/logical order."""
+    ref = ReferenceExecution()
+    seq = 0
+    for txn in workload.transactions:
+        for segment in txn.segments:
+            if isinstance(segment, SerialSegment):
+                epoch_records = [segment.records]
+            elif isinstance(segment, ParallelRegion):
+                epoch_records = [e.records for e in segment.epochs]
+            else:  # pragma: no cover - trace type is closed
+                raise TypeError(f"unknown segment {segment!r}")
+            for records in epoch_records:
+                ops = _memory_ops(records)
+                ref.units.append(ReferenceUnit(seq=seq, ops=ops))
+                for op_idx, (kind, addr, size, pc) in enumerate(ops):
+                    if kind == Rec.STORE:
+                        for word in _words_of(addr, size):
+                            ref.last_writer[word] = (seq, op_idx, pc)
+                seq += 1
+    return ref
+
+
+def _committed_last_writer(
+    observer: CommitLogObserver,
+) -> Dict[int, Tuple[int, int, int]]:
+    """Last-writer map implied by the committed operation stream, applied
+    in *commit* sequence (an out-of-order commit therefore shows up both
+    here and in the order check)."""
+    last_writer: Dict[int, Tuple[int, int, int]] = {}
+    for pos, committed in enumerate(observer.committed):
+        for op_idx, (kind, addr, size, pc) in enumerate(committed.ops):
+            if kind == Rec.STORE:
+                for word in _words_of(addr, size):
+                    last_writer[word] = (committed.order, op_idx, pc)
+    return last_writer
+
+
+def _format_op(op: CommittedOp) -> str:
+    kind, addr, size, pc = op
+    return f"{Rec.NAMES.get(kind, kind)} addr=0x{addr:x} size={size} pc=0x{pc:x}"
+
+
+def check_equivalence(
+    workload: WorkloadTrace,
+    observer: CommitLogObserver,
+    machine: Optional[Machine] = None,
+) -> None:
+    """Assert the observed speculative run serializes to the reference.
+
+    Raises :class:`OracleMismatch` with a readable diff on any
+    divergence; returns None when the run is equivalent.
+    """
+    ref = reference_execution(workload)
+
+    # 1. Every started epoch committed; none left live.
+    live = observer.live_orders()
+    if live:
+        raise OracleMismatch(
+            "epochs started but never committed",
+            [f"order {o}" for o in live],
+        )
+
+    # 2. Commit order is exactly logical order 0..N-1.
+    orders = [c.order for c in observer.committed]
+    expected = list(range(len(ref.units)))
+    if orders != expected:
+        details = []
+        if len(orders) != len(expected):
+            details.append(
+                f"committed {len(orders)} epochs, reference has "
+                f"{len(expected)}"
+            )
+        for pos, order in enumerate(orders):
+            if pos < len(expected) and order != expected[pos]:
+                details.append(
+                    f"commit position {pos}: committed epoch order "
+                    f"{order}, expected {expected[pos]}"
+                )
+        raise OracleMismatch("commit order diverges from logical order",
+                             details)
+
+    # 3. Per-epoch committed ops == trace ops in program order.
+    for unit, committed in zip(ref.units, observer.committed):
+        if committed.ops == unit.ops:
+            continue
+        details = [
+            f"epoch order {committed.order} "
+            f"(rewinds={committed.rewinds}): committed "
+            f"{len(committed.ops)} memory ops, trace has {len(unit.ops)}"
+        ]
+        for i, (got, want) in enumerate(zip(committed.ops, unit.ops)):
+            if got != want:
+                details.append(
+                    f"  op {i}: committed {_format_op(got)}, "
+                    f"trace says {_format_op(want)}"
+                )
+                break
+        if len(committed.ops) < len(unit.ops):
+            i = len(committed.ops)
+            details.append(f"  first missing op {i}: "
+                           f"{_format_op(unit.ops[i])}")
+        elif len(committed.ops) > len(unit.ops):
+            i = len(unit.ops)
+            details.append(f"  first extra op {i}: "
+                           f"{_format_op(committed.ops[i])}")
+        raise OracleMismatch(
+            "committed operations diverge from serial replay", details
+        )
+
+    # 4. Final memory image: per-word last writer.
+    spec_writers = _committed_last_writer(observer)
+    if spec_writers != ref.last_writer:
+        details = []
+        for word in sorted(set(spec_writers) | set(ref.last_writer)):
+            got = spec_writers.get(word)
+            want = ref.last_writer.get(word)
+            if got != want:
+                details.append(
+                    f"word 0x{word * WORD_SIZE:x}: speculative last "
+                    f"writer {got}, serial last writer {want}"
+                )
+        raise OracleMismatch("final last-writer map diverges", details)
+
+    # 5. No speculative residue in the machine.
+    if machine is not None:
+        leftovers = machine.l2.speculative_entries()
+        if leftovers:
+            raise OracleMismatch(
+                "speculative L2 state survived the run",
+                [
+                    f"line 0x{e.tag:x} owner={e.owner} "
+                    f"loads={sorted(e.spec_loaded)} "
+                    f"mods={sorted(e.spec_mod)}"
+                    for e in leftovers
+                ],
+            )
+        if machine.engine.active:
+            raise OracleMismatch(
+                "engine still has active epochs",
+                [f"order {o}" for o in sorted(machine.engine.active)],
+            )
+
+
+@dataclass
+class OracleRun:
+    """Result of :func:`run_with_oracle`: stats plus the checked log."""
+
+    stats: SimulationStats
+    observer: CommitLogObserver
+    machine: Machine
+
+
+def run_with_oracle(
+    workload: WorkloadTrace,
+    config: Optional[MachineConfig] = None,
+) -> OracleRun:
+    """Run a workload under the oracle; raises OracleMismatch on failure."""
+    observer = CommitLogObserver()
+    machine = Machine(config or MachineConfig(), observer=observer)
+    stats = machine.run(workload)
+    check_equivalence(workload, observer, machine)
+    return OracleRun(stats=stats, observer=observer, machine=machine)
+
+
+# ----------------------------------------------------------------------
+# minidb state digests (the database half of the oracle)
+# ----------------------------------------------------------------------
+
+
+def db_digest(db) -> Dict[str, str]:
+    """Content digest of every table in a minidb Database.
+
+    Two databases with identical logical contents produce identical
+    digests regardless of page layout, buffer-pool state, or the engine
+    options the run used — which is exactly what makes it an oracle for
+    software-mode equivalence (SEQUENTIAL vs TLS-SEQ trace generation).
+    """
+    from ..minidb.btree import _MINIMUM
+
+    digests: Dict[str, str] = {}
+    for name in sorted(db.tables()):
+        tree = db.table(name)
+        h = hashlib.sha256()
+        for key, value in tree.scan_range(_MINIMUM):
+            h.update(
+                json.dumps([key, value], sort_keys=True,
+                           default=str).encode()
+            )
+        digests[name] = h.hexdigest()
+    return digests

@@ -2,13 +2,34 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.core.engine import TLSConfig, TLSEngine
 from repro.memory.cache import CacheGeometry
 from repro.memory.l2 import SpeculativeL2
 from repro.tpcc import TPCCScale, generate_workload
 from repro.trace import TraceRecorder, default_costs
+
+# Hypothesis profiles: "ci" turns the example count up and disables the
+# per-example deadline (shared CI runners are jittery); select with
+# HYPOTHESIS_PROFILE=ci.  Tests that pin max_examples via @settings keep
+# their own value either way.
+settings.register_profile("ci", max_examples=200, deadline=None)
+settings.register_profile("dev", settings.get_profile("default"))
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json from the current simulator "
+        "output instead of comparing against it",
+    )
 
 
 class DictDirectory:

@@ -323,3 +323,65 @@ class TestVersionIsolationProperty:
                 l2.check_invariants()
 
         run()
+
+
+class TestSquashPreservesForeignLoadBits:
+    """Regression: a reader's exposed-load bits recorded on a
+    predecessor's speculative version must survive that version's
+    squash, or the reader's future violations are silently missed
+    (found by the cycle-level invariant checker on Figure 6 configs)."""
+
+    def test_bits_rehomed_to_committed_version_on_squash(self, directory):
+        l2 = make_l2(directory, line_gran=True)
+        writer = directory.bind(1, order=10)
+        reader = directory.bind(2, order=20)
+        l2.store(A, 4, order=10, ctx=writer)            # spec version, 10
+        res = l2.load(A, 4, order=20, ctx=reader, exposed=True)
+        assert res.entry.owner == 10                    # forwarded read
+        l2.squash_ctxs(10, [writer])
+        committed = [e for e in l2.versions_of_line(A)
+                     if e.owner == COMMITTED]
+        assert len(committed) == 1
+        assert committed[0].spec_loaded.get(reader)     # bit survived
+        # The re-executed (earlier-order) store must still violate 20.
+        res = l2.store(A, 4, order=10, ctx=writer)
+        assert [v.victim_order for v in res.violations] == [20]
+
+    def test_doomed_entry_recycled_when_no_committed_copy(self, directory):
+        # assoc=1, one set: installing the speculative version evicts the
+        # write-allocated committed copy, so the squash finds no
+        # committed version to merge into and must recycle the entry.
+        geom = CacheGeometry(size_bytes=32, assoc=1, line_size=32)
+        l2 = SpeculativeL2(geom, directory, victim_entries=4)
+        writer = directory.bind(1, order=10)
+        reader = directory.bind(2, order=20)
+        l2.store(A, 4, order=10, ctx=writer)
+        l2.load(A, 4, order=20, ctx=reader, exposed=True)
+        l2.squash_ctxs(10, [writer])
+        versions = l2.versions_of_line(A)
+        assert [e.owner for e in versions] == [COMMITTED]
+        assert not versions[0].dirty
+        assert versions[0].spec_loaded.get(reader)
+        res = l2.store(A, 4, order=5, ctx=None)
+        assert [v.victim_order for v in res.violations] == [20]
+        l2.check_invariants()
+
+    def test_commit_merges_stale_committed_versions_load_bits(
+            self, directory):
+        # Reader 20 loads word 0 of the committed copy; epoch 10 stores
+        # word 1 (no overlap, no violation) and commits.  The stale
+        # committed version is dropped but the reader's word-0 bit must
+        # move to the new committed version.
+        l2 = make_l2(directory, line_gran=False)
+        writer = directory.bind(1, order=10)
+        reader = directory.bind(2, order=20)
+        l2.load(A, 4, order=20, ctx=reader, exposed=True)     # word 0
+        res = l2.store(A + 4, 4, order=10, ctx=writer)        # word 1
+        assert res.violations == []
+        l2.commit_epoch(10, [writer])
+        committed = [e for e in l2.versions_of_line(A)
+                     if e.owner == COMMITTED]
+        assert len(committed) == 1
+        assert committed[0].spec_loaded.get(reader) == 0b01
+        res = l2.store(A, 4, order=15, ctx=None)
+        assert [v.victim_order for v in res.violations] == [20]

@@ -1,0 +1,156 @@
+"""Cycle-level invariant checker: clean runs pass, corrupted state trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import ExecutionMode, Machine, MachineConfig
+from repro.tpcc import TPCCScale, generate_workload
+from repro.verify import InvariantChecker, InvariantError
+
+
+@pytest.fixture(scope="module")
+def tiny_trace():
+    return generate_workload(
+        "new_order", tls_mode=True, n_transactions=2,
+        scale=TPCCScale.tiny(),
+    ).trace
+
+
+def _run(trace, mode, **config_kwargs):
+    config = MachineConfig.for_mode(mode)
+    if config_kwargs:
+        import dataclasses
+
+        config = dataclasses.replace(config, **config_kwargs)
+    machine = Machine(config)
+    stats = machine.run(trace)
+    return machine, stats
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("mode", ExecutionMode.ALL)
+    def test_all_modes_pass_with_checking_on(self, tiny_trace, mode):
+        machine, stats = _run(
+            tiny_trace, mode, check_invariants=True, invariant_interval=8
+        )
+        assert machine._invariants is not None
+        assert machine._invariants.sweeps > 0
+        assert stats.epochs_committed == stats.epochs_total
+
+    def test_checking_off_by_default(self, tiny_trace):
+        machine, _ = _run(tiny_trace, ExecutionMode.BASELINE)
+        assert machine._invariants is None
+
+    def test_checked_run_is_cycle_identical(self, tiny_trace):
+        _, plain = _run(tiny_trace, ExecutionMode.BASELINE)
+        _, checked = _run(
+            tiny_trace, ExecutionMode.BASELINE,
+            check_invariants=True, invariant_interval=8,
+        )
+        assert checked.total_cycles == plain.total_cycles
+        assert checked.primary_violations == plain.primary_violations
+
+
+class TestCorruptionIsCaught:
+    def test_commit_horizon_regression(self, tiny_trace):
+        machine, _ = _run(tiny_trace, ExecutionMode.BASELINE)
+        checker = InvariantChecker(interval=10_000)
+        checker.on_step(machine)
+        machine.engine.commit_horizon -= 1
+        with pytest.raises(InvariantError, match="moved backwards"):
+            checker.on_step(machine)
+
+    def test_orphaned_speculative_version(self, tiny_trace):
+        from repro.memory.l2 import L2Entry
+
+        machine, _ = _run(tiny_trace, ExecutionMode.BASELINE)
+        # A version owned by an epoch the engine no longer knows.
+        entry = L2Entry(tag=0x1234, owner=10_000)
+        entry.spec_mod[0] = 0xF
+        machine.l2._set_for(0x1234).add(entry)
+        checker = InvariantChecker()
+        with pytest.raises(InvariantError, match="non-active epoch"):
+            checker.check_memory(machine, deep=True)
+
+    def test_speculative_version_without_mod_bits(self, tiny_trace):
+        from repro.memory.l2 import L2Entry
+
+        machine, _ = _run(tiny_trace, ExecutionMode.BASELINE)
+        machine.engine.active[10_000] = object()
+        machine.l2._set_for(0x1234).add(L2Entry(tag=0x1234, owner=10_000))
+        checker = InvariantChecker()
+        with pytest.raises(InvariantError, match="no modified words"):
+            checker.check_memory(machine, deep=True)
+
+    def test_duplicate_committed_versions(self, tiny_trace):
+        from repro.memory.l2 import COMMITTED, L2Entry
+
+        machine, _ = _run(tiny_trace, ExecutionMode.BASELINE)
+        cset = machine.l2._set_for(0x1234)
+        cset.add(L2Entry(tag=0x1234, owner=COMMITTED))
+        cset.add(L2Entry(tag=0x1234, owner=COMMITTED))
+        checker = InvariantChecker()
+        with pytest.raises(InvariantError, match="two committed versions"):
+            checker.check_memory(machine, deep=True)
+
+    def test_unreleased_latch_at_finish(self, tiny_trace):
+        machine, _ = _run(tiny_trace, ExecutionMode.BASELINE)
+        machine.latches.try_acquire(7, owner=object())
+        checker = InvariantChecker()
+        with pytest.raises(InvariantError, match="still held"):
+            checker.on_finish(machine)
+
+    def test_stale_ctx_line_index(self, tiny_trace):
+        machine, _ = _run(tiny_trace, ExecutionMode.BASELINE)
+        machine.l2._ctx_lines[999] = {0x1234}
+        checker = InvariantChecker()
+        with pytest.raises(InvariantError, match="ctx-line index"):
+            checker.check_memory(machine, deep=True)
+
+
+class TestEngineStartTableInvariant:
+    def _engine_with_fakes(self, tiny_trace):
+        from repro.core.starttable import SubThreadStartTable
+
+        machine, _ = _run(tiny_trace, ExecutionMode.BASELINE)
+        engine = machine.engine
+
+        class FakeEpoch:
+            def __init__(self, order, n_sub):
+                self.order = order
+                self.subthreads = [object() for _ in range(n_sub)]
+
+        sender = FakeEpoch(0, 3)
+        receiver = FakeEpoch(1, 3)
+        engine.active = {0: sender, 1: receiver}
+        engine.start_tables = {
+            0: SubThreadStartTable(),
+            1: SubThreadStartTable(),
+        }
+        return engine
+
+    def test_non_monotone_start_table_is_flagged(self, tiny_trace):
+        """A later sender sub-thread mapping to an *earlier* receiver
+        sub-thread than a predecessor is a protocol bug (Figure 4(b))."""
+        engine = self._engine_with_fakes(tiny_trace)
+        table = engine.start_tables[1]
+        table.record(0, 0, 2)
+        table.record(0, 1, 1)  # decreasing: protocol bug
+        with pytest.raises(AssertionError, match="not monotone"):
+            engine._check_start_tables()
+
+    def test_dangling_receiver_index_is_flagged(self, tiny_trace):
+        engine = self._engine_with_fakes(tiny_trace)
+        engine.start_tables[1].record(0, 0, 7)  # only 3 sub-threads
+        with pytest.raises(AssertionError, match="start table points"):
+            engine._check_start_tables()
+
+    def test_stale_sender_entries_are_exempt(self, tiny_trace):
+        """Entries for rewound-away sender sub-threads are never queried
+        and may be non-monotone without tripping the check."""
+        engine = self._engine_with_fakes(tiny_trace)
+        table = engine.start_tables[1]
+        table.record(0, 0, 2)
+        table.record(0, 5, 1)  # sender sub-thread 5 no longer exists
+        engine._check_start_tables()

@@ -1,0 +1,138 @@
+"""Trace linter: clean real traces, every rule fires on a bad trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tpcc import TPCCScale, generate_workload
+from repro.trace.events import (
+    EpochTrace,
+    ParallelRegion,
+    Rec,
+    SerialSegment,
+    TransactionTrace,
+    WorkloadTrace,
+)
+from repro.verify import TraceLintError, assert_clean, lint_workload
+from repro.verify.lint import region_of
+
+
+def _wl(*segments) -> WorkloadTrace:
+    return WorkloadTrace(
+        name="w",
+        transactions=[TransactionTrace(name="t", segments=list(segments))],
+    )
+
+
+def _issues(workload):
+    return [issue.message for issue in lint_workload(workload).issues]
+
+
+class TestCleanTraces:
+    @pytest.mark.parametrize("tls_mode", [False, True])
+    def test_generated_tpcc_traces_are_clean(self, tls_mode):
+        gw = generate_workload(
+            "new_order", tls_mode=tls_mode, n_transactions=2,
+            scale=TPCCScale.tiny(),
+        )
+        report = assert_clean(gw.trace)
+        assert report.units > 0 and report.records > 0
+        # The workload touches the structures the paper says it touches.
+        assert report.region_ops.get("pages", 0) > 0
+        assert report.region_ops.get("log", 0) > 0
+        assert "unknown" not in report.region_ops
+
+    def test_reentrant_latch_is_fine(self):
+        report = lint_workload(_wl(SerialSegment(records=[
+            (Rec.LATCH_ACQ, 3, 0x400000),
+            (Rec.LATCH_ACQ, 3, 0x400000),
+            (Rec.LATCH_REL, 3),
+            (Rec.LATCH_REL, 3),
+        ])))
+        assert report.clean
+
+
+class TestRecordWellFormedness:
+    @pytest.mark.parametrize("record", [
+        (Rec.COMPUTE, 0),              # non-positive count
+        (Rec.COMPUTE,),                # missing count
+        (Rec.OP, 999, 1),              # unknown op class
+        (Rec.LOAD, 0x1000_0000, 4),    # missing pc
+        (Rec.LOAD, -4, 4, 0x400000),   # negative address
+        (Rec.STORE, 0x1000_0000, 0, 0x400000),  # zero size
+        (Rec.BRANCH, 0x400000, 2),     # non-boolean taken
+        (Rec.LATCH_ACQ, 3),            # missing pc
+        (99, 1),                       # unknown kind
+        "not a tuple",
+    ])
+    def test_malformed_record_flagged(self, record):
+        report = lint_workload(_wl(SerialSegment(records=[record])))
+        assert not report.clean
+
+
+class TestLatchDiscipline:
+    def test_release_of_unheld_latch(self):
+        messages = _issues(_wl(SerialSegment(records=[
+            (Rec.LATCH_REL, 7),
+        ])))
+        assert any("does not hold" in m for m in messages)
+
+    def test_latch_held_at_unit_end(self):
+        messages = _issues(_wl(SerialSegment(records=[
+            (Rec.LATCH_ACQ, 7, 0x400000),
+        ])))
+        assert any("still held at unit end" in m for m in messages)
+
+    def test_cross_epoch_order_cycle(self):
+        """Epoch A takes 1 then 2, epoch B takes 2 then 1: no single
+        global latch order exists, so a waits-for cycle is possible."""
+        def critical(first, second):
+            return [
+                (Rec.LATCH_ACQ, first, 0x400000),
+                (Rec.LATCH_ACQ, second, 0x400000),
+                (Rec.LATCH_REL, second),
+                (Rec.LATCH_REL, first),
+            ]
+
+        messages = _issues(_wl(ParallelRegion(epochs=[
+            EpochTrace(epoch_id=0, records=critical(1, 2)),
+            EpochTrace(epoch_id=1, records=critical(2, 1)),
+        ])))
+        assert any("waits-for cycle" in m for m in messages)
+
+    def test_consistent_order_across_epochs_is_clean(self):
+        report = lint_workload(_wl(ParallelRegion(epochs=[
+            EpochTrace(epoch_id=0, records=[
+                (Rec.LATCH_ACQ, 1, 0x400000),
+                (Rec.LATCH_ACQ, 2, 0x400000),
+                (Rec.LATCH_REL, 2),
+                (Rec.LATCH_REL, 1),
+            ]),
+            EpochTrace(epoch_id=1, records=[
+                (Rec.LATCH_ACQ, 2, 0x400000),
+                (Rec.LATCH_ACQ, 3, 0x400000),
+                (Rec.LATCH_REL, 3),
+                (Rec.LATCH_REL, 2),
+            ]),
+        ])))
+        assert report.clean
+
+
+class TestAddressCoverage:
+    def test_region_classification(self):
+        assert region_of(0x1000_0040) == "pages"
+        assert region_of(0x3000_0000) == "log"
+        assert region_of(0x6001_0000) == "app"
+        assert region_of(0x9000_0000) == "unknown"
+
+    def test_out_of_map_address_flagged(self):
+        messages = _issues(_wl(SerialSegment(records=[
+            (Rec.STORE, 0x9000_0000, 4, 0x400000),
+        ])))
+        assert any("outside every known" in m for m in messages)
+
+
+class TestAssertClean:
+    def test_raises_with_readable_report(self):
+        with pytest.raises(TraceLintError, match="lint issue"):
+            assert_clean(_wl(SerialSegment(records=[(Rec.LATCH_REL, 7)])))
