@@ -82,7 +82,7 @@ def time_harness(args, jobs: int):
     return time.perf_counter() - t0, results
 
 
-def time_inner_loop(args):
+def time_inner_loop(args, compile_traces: bool = True):
     """Records/second of one Machine.run on a TLS workload."""
     spec = TraceSpec(
         benchmark="new_order",
@@ -93,13 +93,71 @@ def time_inner_loop(args):
     )
     trace = materialize(spec, cache_dir=None)
     records = count_records(trace)
+    config = MachineConfig(compile_traces=compile_traces)
     best = float("inf")
     for _ in range(max(1, args.repeat)):
-        machine = Machine(MachineConfig())
+        machine = Machine(config)
         t0 = time.perf_counter()
         machine.run(trace)
         best = min(best, time.perf_counter() - t0)
     return records, best
+
+
+def runner_class() -> str:
+    """Coarse machine identity for the BENCH_speed.json trajectory.
+
+    Throughput is only comparable between runs on the same kind of
+    machine, so trajectory regression checks are scoped to this key.
+    """
+    return (
+        f"{platform.system()}-{platform.machine()}"
+        f"-cpu{os.cpu_count() or 1}"
+    )
+
+
+def append_trajectory(path: pathlib.Path, entry: dict,
+                      min_ratio: float) -> int:
+    """Append ``entry`` to the append-only trajectory file.
+
+    Returns 1 (failure) when the new inner-loop throughput fell below
+    ``min_ratio`` times the previous entry recorded on the same runner
+    class and scale, else 0.  The file is never rewritten — entries only
+    accumulate, preserving the full performance history.
+    """
+    history = []
+    if path.exists():
+        with open(path) as fh:
+            history = json.load(fh)
+    previous = None
+    for old in reversed(history):
+        if (
+            old.get("runner") == entry["runner"]
+            and old.get("scale") == entry["scale"]
+        ):
+            previous = old
+            break
+    status = 0
+    if previous:
+        prev_rps = previous.get("records_per_second") or 0.0
+        ratio = (
+            entry["records_per_second"] / prev_rps if prev_rps else None
+        )
+        if ratio is not None:
+            entry["ratio_to_previous"] = round(ratio, 3)
+            if ratio < min_ratio:
+                print(
+                    f"ERROR: inner-loop throughput regressed to "
+                    f"{ratio:.2f}x of the previous entry on "
+                    f"{entry['runner']} (threshold {min_ratio}x)",
+                    file=sys.stderr,
+                )
+                status = 1
+    history.append(entry)
+    with open(path, "w") as fh:
+        json.dump(history, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"appended to {path} ({len(history)} entries)")
+    return status
 
 
 def main(argv=None) -> int:
@@ -113,35 +171,87 @@ def main(argv=None) -> int:
     parser.add_argument("--repeat", type=int, default=3,
                         help="inner-loop timing repetitions (best-of)")
     parser.add_argument(
+        "--no-compile-traces", action="store_true",
+        help=("time only the interpreted simulator path (skip the "
+              "compiled-path measurement)"),
+    )
+    parser.add_argument(
         "--out", type=pathlib.Path,
         default=pathlib.Path(__file__).resolve().parent.parent
         / "results" / "perf.json",
     )
+    parser.add_argument(
+        "--trajectory", type=pathlib.Path, default=None, metavar="FILE",
+        help=("append the inner-loop result to this append-only JSON "
+              "trajectory and fail if it regressed below --min-ratio of "
+              "the previous entry on the same runner class"),
+    )
+    parser.add_argument(
+        "--min-ratio", type=float, default=0.7,
+        help=("trajectory regression threshold relative to the previous "
+              "same-runner entry (default 0.7)"),
+    )
     args = parser.parse_args(argv)
 
     n_cpus = os.cpu_count() or 1
-    # At least 2 workers so the process-pool path is actually exercised
-    # (and its overhead measured) even on a single-core machine.
-    jobs = args.jobs if args.jobs > 0 else max(2, n_cpus)
+    jobs = args.jobs if args.jobs > 0 else n_cpus
 
     print("timing serial harness (figure5+figure6, jobs=1) ...")
     serial_s, serial_results = time_harness(args, jobs=1)
     print(f"  {serial_s:.2f}s")
-    print(f"timing parallel harness (jobs={jobs}) ...")
-    parallel_s, parallel_results = time_harness(args, jobs=jobs)
-    print(f"  {parallel_s:.2f}s")
 
-    identical = (
-        result_to_dict(serial_results) == result_to_dict(parallel_results)
+    if jobs > 1:
+        print(f"timing parallel harness (jobs={jobs}) ...")
+        parallel_s, parallel_results = time_harness(args, jobs=jobs)
+        print(f"  {parallel_s:.2f}s")
+        identical = (
+            result_to_dict(serial_results)
+            == result_to_dict(parallel_results)
+        )
+        if not identical:
+            print("ERROR: parallel results differ from serial",
+                  file=sys.stderr)
+        harness = {
+            "serial_seconds": round(serial_s, 3),
+            "parallel_seconds": round(parallel_s, 3),
+            "speedup": round(serial_s / parallel_s, 3)
+            if parallel_s > 0 else None,
+            "results_identical": identical,
+        }
+    else:
+        # One worker cannot demonstrate a parallel speedup; recording a
+        # process-pool "slowdown" here would just be measuring overhead.
+        print("single-CPU machine: skipping parallel harness comparison")
+        identical = True
+        harness = {
+            "serial_seconds": round(serial_s, 3),
+            "parallel_comparison": "skipped_single_core",
+        }
+
+    print("timing simulator inner loop (compiled traces) ..."
+          if not args.no_compile_traces
+          else "timing simulator inner loop (interpreted) ...")
+    records, inner_s = time_inner_loop(
+        args, compile_traces=not args.no_compile_traces
     )
-    if not identical:
-        print("ERROR: parallel results differ from serial", file=sys.stderr)
-
-    print("timing simulator inner loop ...")
-    records, inner_s = time_inner_loop(args)
     records_per_s = records / inner_s if inner_s > 0 else 0.0
     print(f"  {records} records in {inner_s:.2f}s "
           f"({records_per_s:,.0f} records/s)")
+
+    inner_loop = {
+        "records": records,
+        "seconds": round(inner_s, 3),
+        "records_per_second": round(records_per_s, 1),
+        "compile_traces": not args.no_compile_traces,
+    }
+    if not args.no_compile_traces:
+        print("timing simulator inner loop (interpreted, for reference) ...")
+        records_i, interp_s = time_inner_loop(args, compile_traces=False)
+        interp_rps = records_i / interp_s if interp_s > 0 else 0.0
+        print(f"  {records_i} records in {interp_s:.2f}s "
+              f"({interp_rps:,.0f} records/s)")
+        inner_loop["interpreted_seconds"] = round(interp_s, 3)
+        inner_loop["interpreted_records_per_second"] = round(interp_rps, 1)
 
     perf = {
         "config": {
@@ -152,25 +262,29 @@ def main(argv=None) -> int:
             "cpu_count": n_cpus,
             "python": platform.python_version(),
         },
-        "harness": {
-            "serial_seconds": round(serial_s, 3),
-            "parallel_seconds": round(parallel_s, 3),
-            "speedup": round(serial_s / parallel_s, 3)
-            if parallel_s > 0 else None,
-            "results_identical": identical,
-        },
-        "inner_loop": {
-            "records": records,
-            "seconds": round(inner_s, 3),
-            "records_per_second": round(records_per_s, 1),
-        },
+        "harness": harness,
+        "inner_loop": inner_loop,
     }
     args.out.parent.mkdir(parents=True, exist_ok=True)
     with open(args.out, "w") as fh:
         json.dump(perf, fh, indent=1, sort_keys=True)
         fh.write("\n")
     print(f"wrote {args.out}")
-    return 0 if identical else 1
+
+    status = 0 if identical else 1
+    if args.trajectory is not None:
+        entry = {
+            "runner": runner_class(),
+            "scale": perf["config"]["scale"],
+            "records": records,
+            "records_per_second": round(records_per_s, 1),
+            "compile_traces": not args.no_compile_traces,
+            "python": platform.python_version(),
+        }
+        status = max(
+            status, append_trajectory(args.trajectory, entry, args.min_ratio)
+        )
+    return status
 
 
 if __name__ == "__main__":

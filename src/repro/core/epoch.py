@@ -74,6 +74,10 @@ class EpochExecution:
         "finish_cycle",
         "last_rewound_start",
         "failed_intervals",
+        "compiled",
+        "records",
+        "n_records",
+        "store_union",
     )
 
     def __init__(
@@ -84,6 +88,10 @@ class EpochExecution:
         speculative: bool = True,
     ):
         self.trace = trace
+        #: ``trace.records`` / its length, cached for the hot dispatch
+        #: loop (two attribute hops and a len() per event add up).
+        self.records = trace.records
+        self.n_records = len(trace.records)
         self.order = order
         self.cpu = cpu
         #: False when TLS is off for this epoch (NO SPECULATION mode) or
@@ -109,6 +117,14 @@ class EpochExecution:
         #: Disjoint, sorted wall intervals already charged as Failed for
         #: this epoch (see :meth:`charge_failed_interval`).
         self.failed_intervals: List[Tuple[float, float]] = []
+        #: Compiled entry list parallel to ``trace.records`` (see
+        #: :mod:`repro.trace.compile`); None when trace compilation is
+        #: disabled.  Replay metadata only — never protocol state.
+        self.compiled: Optional[list] = None
+        #: Union of every live sub-thread's store mask, per line — makes
+        #: :meth:`covers_load` a single dict probe.  Rebuilt from the
+        #: surviving sub-threads on rewind.
+        self.store_union: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Sub-thread management
@@ -170,6 +186,12 @@ class EpochExecution:
         self.offset = target.offset
         target.start_cycle = now
         target.store_mask.clear()
+        # Rebuild the epoch-wide store-mask union from the survivors.
+        su: Dict[int, int] = {}
+        for cp in self.subthreads:
+            for line, m in cp.store_mask.items():
+                su[line] = su.get(line, 0) | m
+        self.store_union = su
         target.latches.clear()
         target.pending = CycleCounters()
         target.instructions = 0
@@ -192,6 +214,8 @@ class EpochExecution:
     def note_store(self, line: int, mask: int) -> None:
         sm = self.current_subthread.store_mask
         sm[line] = sm.get(line, 0) | mask
+        su = self.store_union
+        su[line] = su.get(line, 0) | mask
 
     def covers_load(self, line: int, mask: int) -> bool:
         """True if the epoch's own earlier stores cover every loaded word.
@@ -199,14 +223,8 @@ class EpochExecution:
         Such a load is *not exposed*: the value was produced within the
         epoch, so no cross-epoch dependence tracking is needed for it.
         """
-        remaining = mask
-        for cp in self.subthreads:
-            written = cp.store_mask.get(line)
-            if written:
-                remaining &= ~written
-                if not remaining:
-                    return True
-        return not remaining
+        written = self.store_union.get(line)
+        return written is not None and not (mask & ~written)
 
     # ------------------------------------------------------------------
     # Progress
@@ -223,7 +241,7 @@ class EpochExecution:
 
     @property
     def done(self) -> bool:
-        return self.cursor >= len(self.trace.records)
+        return self.cursor >= self.n_records
 
     def charge_failed_interval(self, lo: float, hi: float) -> float:
         """Record [lo, hi] as Failed wall time; returns the newly-charged

@@ -19,7 +19,7 @@ class GShareBranchPredictor:
         self.history_bits = history_bits
         self._history_mask = (1 << history_bits) - 1
         self._index_mask = self.n_counters - 1
-        self._counters = bytearray([2] * self.n_counters)  # weakly taken
+        self._counters = bytearray(b"\x02" * self.n_counters)  # weakly taken
         self._history = 0
         self.predictions = 0
         self.mispredictions = 0

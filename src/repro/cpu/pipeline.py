@@ -72,11 +72,14 @@ class CorePipeline:
             Op.MEM_BARRIER: 1.0,
         }
         self.instructions_retired = 0
+        # Hoisted hot-path constants (config is immutable per pipeline).
+        self._issue_width = config.issue_width
+        self._mispredict_penalty = config.mispredict_penalty
 
     def compute_cycles(self, count: int) -> int:
         """Cycles to retire ``count`` single-cycle instructions."""
         self.instructions_retired += count
-        width = self.config.issue_width
+        width = self._issue_width
         return (count + width - 1) // width
 
     def op_cycles(self, op_class: int, count: int) -> int:
@@ -96,7 +99,6 @@ class CorePipeline:
     def branch_cycles(self, pc: int, taken: bool) -> int:
         """Cycles for one conditional branch (1 + penalty if mispredicted)."""
         self.instructions_retired += 1
-        correct = self.predictor.predict_and_update(pc, taken)
-        if correct:
+        if self.predictor.predict_and_update(pc, taken):
             return 1
-        return 1 + self.config.mispredict_penalty
+        return 1 + self._mispredict_penalty

@@ -121,6 +121,15 @@ def main(argv=None) -> int:
             "(repro.verify.invariants); slower, for validation runs"
         ),
     )
+    parser.add_argument(
+        "--no-compile-traces",
+        action="store_true",
+        help=(
+            "disable trace pre-compilation (repro.trace.compile) and run "
+            "every record through the interpreted path; slower escape "
+            "hatch — results are byte-identical either way"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.scale == "paper":
@@ -133,12 +142,15 @@ def main(argv=None) -> int:
         cache_dir = None
     else:
         cache_dir = args.trace_cache or default_cache_dir()
+    overrides = {}
+    if args.check_invariants:
+        overrides["check_invariants"] = True
+    if args.no_compile_traces:
+        overrides["compile_traces"] = False
     runner = JobRunner(
         jobs=args.jobs if args.jobs > 0 else (os.cpu_count() or 1),
         trace_cache=cache_dir,
-        config_overrides=(
-            {"check_invariants": True} if args.check_invariants else None
-        ),
+        config_overrides=overrides or None,
     )
     ctx = ExperimentContext(
         n_transactions=args.transactions, seed=args.seed, scale=scale,

@@ -21,7 +21,7 @@ consume them; the L1s are *unaware of sub-threads*.  Each L1 line carries:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from .cache import CacheGeometry, LRUSet
 
@@ -43,9 +43,21 @@ class L1Cache:
 
     def __init__(self, geometry: CacheGeometry):
         self.geom = geometry
-        self._sets = [LRUSet(geometry.assoc) for _ in range(geometry.n_sets)]
+        #: set index -> LRUSet, allocated on first touch (most sets of a
+        #: 32KB cache go untouched in short runs).
+        self._sets: Dict[int, LRUSet] = {}
+        self._assoc = geometry.assoc
         self._set_shift = geometry.line_shift
         self._set_mask = geometry.set_mask
+        #: Tags of lines currently carrying a speculative mark.  Kept
+        #: exactly in sync by fill/mark_spec/invalidate/flash/clear so
+        #: the epoch-boundary sweeps touch only marked lines instead of
+        #: walking every set.
+        self._spec_tags: set = set()
+        #: Tags of all resident lines (lets inclusion/invalidation walks
+        #: reject absent lines — the overwhelmingly common case — with
+        #: one set-membership test instead of a per-set lookup).
+        self.resident: set = set()
         self.hits = 0
         self.misses = 0
         self.spec_invalidations = 0
@@ -55,43 +67,79 @@ class L1Cache:
     # ------------------------------------------------------------------
 
     def _set_for(self, line_addr: int) -> LRUSet:
-        return self._sets[(line_addr >> self._set_shift) & self._set_mask]
+        idx = (line_addr >> self._set_shift) & self._set_mask
+        cset = self._sets.get(idx)
+        if cset is None:
+            cset = LRUSet(self._assoc)
+            self._sets[idx] = cset
+        return cset
 
     def lookup(self, line_addr: int, touch: bool = True) -> Optional[L1Line]:
         return self._set_for(line_addr).get(line_addr, touch=touch)
 
     def access(self, line_addr: int) -> bool:
         """Reference the line; returns True on hit (updates LRU/stats)."""
-        cset = self._sets[(line_addr >> self._set_shift) & self._set_mask]
-        if cset.get(line_addr) is not None:
-            self.hits += 1
-            return True
-        self.misses += 1
-        return False
+        if line_addr not in self.resident:
+            self.misses += 1
+            return False
+        # Present for sure; the set lookup just refreshes LRU order.
+        self._sets[(line_addr >> self._set_shift) & self._set_mask].get(
+            line_addr
+        )
+        self.hits += 1
+        return True
 
-    def fill(self, line_addr: int, spec: bool,
-             subidx: int = -1) -> Optional[L1Line]:
+    def fill(self, line_addr: int, spec: bool, subidx: int = -1,
+             notified: bool = False) -> Optional[L1Line]:
         """Install a line fetched from L2.
 
         Returns the evicted line (if any).  Write-through means an evicted
         line is never dirty with respect to L2, so eviction needs no
         writeback; speculative L1 lines can be silently dropped because the
         L2 keeps inclusion for all speculative state.
+
+        ``notified=True`` folds the common fill-then-``mark_spec`` pair
+        into one lookup (only meaningful together with ``spec=True``).
+
+        The LRU set is manipulated directly here (rather than through the
+        LRUSet API) — fill runs on every L1 miss and every store, making
+        it the hottest method in the cache model.
         """
-        cset = self._set_for(line_addr)
-        existing = cset.get(line_addr)
+        idx = (line_addr >> self._set_shift) & self._set_mask
+        cset = self._sets.get(idx)
+        if cset is None:
+            cset = LRUSet(self._assoc)
+            self._sets[idx] = cset
+        by_tag = cset._by_tag
+        order = cset._order
+        existing = by_tag.get(line_addr)
         if existing is not None:
+            if order[-1] != line_addr:  # cset.get's LRU touch
+                order.remove(line_addr)
+                order.append(line_addr)
             existing.spec = existing.spec or spec
             if spec:
-                existing.subidx = max(existing.subidx, subidx)
+                if subidx > existing.subidx:
+                    existing.subidx = subidx
+                self._spec_tags.add(line_addr)
+                if notified:
+                    existing.notified = True
             return None
         evicted = None
-        if cset.is_full():
-            victim_tag = cset.victim_tag()
-            evicted = cset.remove(victim_tag)
-        line = L1Line(tag=line_addr, spec=spec,
+        if len(by_tag) >= self._assoc:
+            victim_tag = order[0]  # true-LRU victim
+            del order[0]
+            evicted = by_tag.pop(victim_tag)
+            self.resident.discard(victim_tag)
+            if evicted.spec:
+                self._spec_tags.discard(victim_tag)
+        line = L1Line(tag=line_addr, spec=spec, notified=notified,
                       subidx=subidx if spec else -1)
-        cset.put(line_addr, line)
+        by_tag[line_addr] = line
+        order.append(line_addr)
+        self.resident.add(line_addr)
+        if spec:
+            self._spec_tags.add(line_addr)
         return evicted
 
     def mark_spec(self, line_addr: int, notified: bool,
@@ -100,6 +148,7 @@ class L1Cache:
         if line is not None:
             line.spec = True
             line.subidx = max(line.subidx, subidx)
+            self._spec_tags.add(line_addr)
             if notified:
                 line.notified = True
 
@@ -113,7 +162,15 @@ class L1Cache:
 
     def invalidate(self, line_addr: int) -> bool:
         """Invalidate one line (L2 eviction inclusion, external store)."""
-        return self._set_for(line_addr).remove(line_addr) is not None
+        if line_addr not in self.resident:
+            return False
+        removed = self._set_for(line_addr).remove(line_addr)
+        if removed is None:
+            return False
+        self.resident.discard(line_addr)
+        if removed.spec:
+            self._spec_tags.discard(line_addr)
+        return True
 
     def flash_invalidate_spec(self, from_subidx: int = None) -> int:
         """Drop speculatively-accessed lines (violation recovery).
@@ -125,25 +182,33 @@ class L1Cache:
         subsequent refetches from L2 are the recovery cost.
         """
         count = 0
-        for cset in self._sets:
-            for tag in list(cset.tags()):
-                line = cset.peek(tag)
-                if line is None or not line.spec:
-                    continue
-                if from_subidx is not None and line.subidx < from_subidx:
-                    continue
-                cset.remove(tag)
-                count += 1
+        survivors: Optional[set] = None
+        for tag in self._spec_tags:
+            cset = self._set_for(tag)
+            line = cset.peek(tag)
+            if line is None or not line.spec:
+                continue  # stale tag (defensive; the set is kept exact)
+            if from_subidx is not None and line.subidx < from_subidx:
+                if survivors is None:
+                    survivors = set()
+                survivors.add(tag)
+                continue
+            cset.remove(tag)
+            self.resident.discard(tag)
+            count += 1
+        self._spec_tags = survivors if survivors is not None else set()
         self.spec_invalidations += count
         return count
 
     def clear_spec_marks(self) -> None:
         """New epoch begins: lines stay cached but lose speculative marks."""
-        for cset in self._sets:
-            for entry in cset.entries():
+        for tag in self._spec_tags:
+            entry = self._set_for(tag).peek(tag)
+            if entry is not None:
                 entry.spec = False
                 entry.notified = False
                 entry.subidx = -1
+        self._spec_tags.clear()
 
     # ------------------------------------------------------------------
     # Introspection (tests)
@@ -151,7 +216,7 @@ class L1Cache:
 
     def resident_lines(self) -> List[L1Line]:
         out: List[L1Line] = []
-        for cset in self._sets:
+        for cset in self._sets.values():
             out.extend(cset.entries())
         return out
 

@@ -84,6 +84,9 @@ class L2Entry:
     dirty: bool = False
     spec_loaded: Dict[int, int] = field(default_factory=dict)
     spec_mod: Dict[int, int] = field(default_factory=dict)
+    #: Maintained by the victim cache: True while the entry lives there
+    #: rather than in its L2 set (turns the membership scan into a flag).
+    in_victim: bool = False
 
     def is_speculative(self) -> bool:
         return (
@@ -161,21 +164,31 @@ class L2Set:
         return None
 
 
-@dataclass(slots=True)
 class AccessResult:
-    """Outcome of an L2 access, consumed by the machine timing model."""
+    """Outcome of an L2 access, consumed by the machine timing model.
 
-    hit: bool
-    #: Entry the access resolved to (None if a pure miss with no fill).
-    entry: Optional[L2Entry] = None
-    #: Violations raised by this access (stores only).
-    violations: List[Violation] = field(default_factory=list)
-    #: Committed lines dropped from the chip (machine invalidates L1s).
-    invalidated_lines: List[int] = field(default_factory=list)
-    #: Epoch orders whose state overflowed and must be squashed entirely.
-    overflow_squash: List[int] = field(default_factory=list)
-    #: Number of memory (DRAM) transfers this access required.
-    memory_accesses: int = 0
+    ``invalidated_lines`` and ``overflow_squash`` start as a shared empty
+    tuple and are swapped for real lists on first write (most accesses
+    invalidate nothing, so two eager list allocations per access were
+    measurable); consumers only test truthiness and iterate, which both
+    containers support.
+    """
+
+    __slots__ = ("hit", "entry", "violations", "invalidated_lines",
+                 "overflow_squash", "memory_accesses")
+
+    def __init__(self, hit: bool, entry: Optional[L2Entry] = None):
+        self.hit = hit
+        #: Entry the access resolved to (None if a pure miss with no fill).
+        self.entry = entry
+        #: Violations raised by this access (stores only).
+        self.violations: List[Violation] = []
+        #: Committed lines dropped from the chip (machine invalidates L1s).
+        self.invalidated_lines = ()
+        #: Epoch orders whose state overflowed and must be squashed.
+        self.overflow_squash = ()
+        #: Number of memory (DRAM) transfers this access required.
+        self.memory_accesses = 0
 
 
 class SpeculativeL2:
@@ -197,7 +210,11 @@ class SpeculativeL2:
         #: include false sharing).  Set False for the word-granularity
         #: ablation.
         self.line_granularity_loads = line_granularity_loads
-        self._sets = [L2Set(geometry.assoc) for _ in range(geometry.n_sets)]
+        #: set index -> L2Set, allocated on first touch: a 2MB cache has
+        #: 16k sets and a short run touches a few hundred, so eager
+        #: allocation would dominate Machine construction.
+        self._sets: Dict[int, L2Set] = {}
+        self._assoc = geometry.assoc
         # Hot-path constants (geometry is immutable).
         self._set_shift = geometry.line_shift
         self._set_mask = geometry.set_mask
@@ -219,7 +236,12 @@ class SpeculativeL2:
     # ------------------------------------------------------------------
 
     def _set_for(self, tag: int) -> L2Set:
-        return self._sets[(tag >> self._set_shift) & self._set_mask]
+        idx = (tag >> self._set_shift) & self._set_mask
+        cset = self._sets.get(idx)
+        if cset is None:
+            cset = L2Set(self._assoc)
+            self._sets[idx] = cset
+        return cset
 
     def word_mask(self, addr: int, size: int) -> int:
         """Word mask within the line for an access at ``addr``/``size``."""
@@ -234,7 +256,7 @@ class SpeculativeL2:
     def _versions(self, tag: int) -> List[L2Entry]:
         """All on-chip versions of a line (set + victim cache)."""
         versions = self._set_for(tag).versions_of(tag)
-        if len(self.victim):
+        if self.victim._entries:
             versions.extend(self.victim.versions_of(tag))
         return versions
 
@@ -313,7 +335,7 @@ class SpeculativeL2:
 
     def _promote(self, entry: L2Entry) -> None:
         """Touch for LRU; pull a victim-cache entry back into its set."""
-        if self.victim.contains(entry):
+        if entry.in_victim:
             cset = self._set_for(entry.tag)
             if not cset.is_full():
                 self.victim.remove(entry)
@@ -348,9 +370,14 @@ class SpeculativeL2:
         for tag in self.geom.lines_touched(addr, size):
             words = self.word_mask(addr, size)
             versions = self._versions(tag)
-            self._detect_violations(
-                tag, versions, words, order, ctx, store_pc, result
-            )
+            if self._ctx_lines:
+                # No context holds speculative-load bits anywhere when the
+                # index is empty, so the scan cannot find a violation.
+                result.violations.extend(
+                    self._detect_violations(
+                        tag, versions, words, order, ctx, store_pc
+                    )
+                )
             target = None
             for entry in versions:
                 if entry.owner == (COMMITTED if ctx is None else order):
@@ -391,6 +418,161 @@ class SpeculativeL2:
             self.misses += 1
         return result
 
+    # ------------------------------------------------------------------
+    # Single-line fast paths (compiled traces)
+    # ------------------------------------------------------------------
+
+    def load_line(
+        self,
+        tag: int,
+        order: int,
+        ctx: Optional[int],
+        exposed: bool,
+        load_bits: int,
+    ) -> Tuple[bool, Optional[AccessResult]]:
+        """Single-line twin of :meth:`load` with a precompiled bit mask.
+
+        The trace compiler resolves each access into per-line ``(tag,
+        load_bits)`` pairs up front, so this path skips the line-walk and
+        mask arithmetic, and on a clean hit it allocates no
+        :class:`AccessResult` at all.  Returns ``(hit, result)`` where
+        ``result`` is None for a clean hit; every state change and
+        statistic matches ``load`` exactly.
+        """
+        idx = (tag >> self._set_shift) & self._set_mask
+        cset = self._sets.get(idx)
+        if cset is None:
+            cset = L2Set(self._assoc)
+            self._sets[idx] = cset
+        # _read_version over set + victim entries, inlined without the
+        # intermediate versions list (strict > keeps the first-seen entry
+        # on ties exactly as the list-based scan did).
+        entries = cset._entries
+        entry = None
+        for e in entries:
+            if e.tag == tag and e.owner <= order and (
+                entry is None or e.owner > entry.owner
+            ):
+                entry = e
+        ventries = self.victim._entries
+        if ventries:
+            for e in ventries:
+                if e.tag == tag and e.owner <= order and (
+                    entry is None or e.owner > entry.owner
+                ):
+                    entry = e
+        if entry is None:
+            result = AccessResult(hit=False)
+            result.memory_accesses = 1
+            entry = self._install(L2Entry(tag=tag, owner=COMMITTED), result)
+            self.misses += 1
+            if entry is None:
+                return False, result
+            hit = False
+        else:
+            # _promote, inlined for the common in-set case.
+            if entry.in_victim:
+                self._promote(entry)
+            else:
+                entries.remove(entry)
+                entries.append(entry)
+            self.hits += 1
+            hit = True
+            result = None
+        if ctx is not None and exposed:
+            entry.spec_loaded[ctx] = entry.spec_loaded.get(ctx, 0) | load_bits
+            self._note_ctx_line(ctx, tag)
+        return hit, result
+
+    def store_line(
+        self,
+        tag: int,
+        order: int,
+        ctx: Optional[int],
+        words: int,
+        store_pc: Optional[int] = None,
+        detect: bool = True,
+    ) -> Tuple[bool, Optional[AccessResult]]:
+        """Single-line twin of :meth:`store` with a precompiled word mask.
+
+        ``detect=False`` skips the violation scan; the machine passes it
+        for region-private lines, where only the storing epoch ever holds
+        bits on the line so the scan provably finds nothing.  Returns
+        ``(hit, result)`` with ``result`` None when the store hit an
+        existing version and raised no violations.
+        """
+        idx = (tag >> self._set_shift) & self._set_mask
+        cset = self._sets.get(idx)
+        if cset is None:
+            cset = L2Set(self._assoc)
+            self._sets[idx] = cset
+        versions = [e for e in cset._entries if e.tag == tag]
+        ventries = self.victim._entries
+        if ventries:
+            for e in ventries:
+                if e.tag == tag:
+                    versions.append(e)
+        violations: Tuple[Violation, ...] = ()
+        if detect and self._ctx_lines:
+            violations = self._detect_violations(
+                tag, versions, words, order, ctx, store_pc
+            )
+        want = COMMITTED if ctx is None else order
+        target = None
+        for entry in versions:
+            if entry.owner == want:
+                target = entry
+                break
+        hit = True
+        result = None
+        if target is None:
+            result = AccessResult(hit=True)
+            if ctx is None:
+                committed = False
+                for entry in versions:
+                    if entry.owner == COMMITTED:
+                        committed = True
+                        break
+                if not committed:
+                    hit = False
+                    result.hit = False
+                    result.memory_accesses += 1
+                target = self._install(
+                    L2Entry(tag=tag, owner=COMMITTED), result
+                )
+            else:
+                if not versions:
+                    hit = False
+                    result.hit = False
+                    result.memory_accesses += 1
+                    self._install(L2Entry(tag=tag, owner=COMMITTED), result)
+                self.version_allocations += 1
+                target = self._install(L2Entry(tag=tag, owner=order), result)
+        if violations:
+            if result is None:
+                result = AccessResult(hit=True)
+            result.violations.extend(violations)
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        if target is None:
+            return hit, result
+        # _promote, inlined for the common in-set case (a freshly
+        # installed target always lands in this same set).
+        if target.in_victim:
+            self._promote(target)
+        else:
+            entries = cset._entries
+            entries.remove(target)
+            entries.append(target)
+        if ctx is None:
+            target.dirty = True
+        else:
+            target.spec_mod[ctx] = target.spec_mod.get(ctx, 0) | words
+            self._note_ctx_line(ctx, tag)
+        return hit, result
+
     def _detect_violations(
         self,
         tag: int,
@@ -399,8 +581,7 @@ class SpeculativeL2:
         order: int,
         ctx: Optional[int],
         store_pc: Optional[int],
-        result: AccessResult,
-    ) -> None:
+    ) -> Tuple[Violation, ...]:
         """Find epochs violated by a store of ``words`` at logical ``order``."""
         per_victim: Dict[int, Tuple[int, int]] = {}
         for entry in versions:
@@ -417,9 +598,12 @@ class SpeculativeL2:
                 prev = per_victim.get(victim_order)
                 if prev is None or subidx < prev[0]:
                     per_victim[victim_order] = (subidx, load_ctx)
+        if not per_victim:
+            return ()
+        out = []
         for victim_order, (subidx, load_ctx) in sorted(per_victim.items()):
             self.violations_detected += 1
-            result.violations.append(
+            out.append(
                 Violation(
                     victim_order=victim_order,
                     subthread_idx=subidx,
@@ -429,6 +613,7 @@ class SpeculativeL2:
                     store_pc=store_pc,
                 )
             )
+        return tuple(out)
 
     # ------------------------------------------------------------------
     # Allocation / eviction
@@ -460,7 +645,10 @@ class SpeculativeL2:
             else:
                 if victim.dirty:
                     result.memory_accesses += 1
-                result.invalidated_lines.append(victim.tag)
+                if result.invalidated_lines:
+                    result.invalidated_lines.append(victim.tag)
+                else:
+                    result.invalidated_lines = [victim.tag]
         cset.add(entry)
         return entry
 
@@ -471,7 +659,10 @@ class SpeculativeL2:
         if not overflowed.is_speculative():
             if overflowed.dirty:
                 result.memory_accesses += 1
-            result.invalidated_lines.append(overflowed.tag)
+            if result.invalidated_lines:
+                result.invalidated_lines.append(overflowed.tag)
+            else:
+                result.invalidated_lines = [overflowed.tag]
             return
         self.overflow_squashes += 1
         owners: Set[int] = set()
@@ -481,9 +672,12 @@ class SpeculativeL2:
             owners.add(self.directory.order_of(load_ctx))
         for mod_ctx in overflowed.spec_mod:
             owners.add(self.directory.order_of(mod_ctx))
-        result.overflow_squash.extend(sorted(owners))
+        result.overflow_squash = list(result.overflow_squash) + sorted(owners)
         # The state is lost regardless; drop the line.
-        result.invalidated_lines.append(overflowed.tag)
+        if result.invalidated_lines:
+            result.invalidated_lines.append(overflowed.tag)
+        else:
+            result.invalidated_lines = [overflowed.tag]
 
     # ------------------------------------------------------------------
     # Commit / squash (driven by the TLS engine)
@@ -501,7 +695,11 @@ class SpeculativeL2:
         for ctx in ctx_list:
             tags.update(self._ctx_lines.pop(ctx, ()))
         for tag in sorted(tags):
-            for entry in self._versions(tag):
+            # One snapshot serves both walks: committing an owner does not
+            # change which entries hold the tag, and the inner drop only
+            # affects entries this same snapshot already enumerates.
+            versions = self._versions(tag)
+            for entry in versions:
                 if entry.owner == order:
                     entry.owner = COMMITTED
                     entry.dirty = True
@@ -510,7 +708,7 @@ class SpeculativeL2:
                     # preserving load bits later epochs recorded on them
                     # (their loads of words this epoch never wrote are
                     # still live dependences).
-                    for other in self._versions(tag):
+                    for other in versions:
                         if other is not entry and other.owner == COMMITTED:
                             for ctx, mask in other.spec_loaded.items():
                                 entry.spec_loaded[ctx] = (
@@ -575,7 +773,7 @@ class SpeculativeL2:
         return False
 
     def _drop(self, entry: L2Entry) -> None:
-        if self.victim.contains(entry):
+        if entry.in_victim:
             self.victim.remove(entry)
             return
         cset = self._set_for(entry.tag)
@@ -588,7 +786,7 @@ class SpeculativeL2:
 
     def all_entries(self) -> List[L2Entry]:
         out: List[L2Entry] = []
-        for cset in self._sets:
+        for cset in self._sets.values():
             out.extend(cset.entries())
         out.extend(self.victim.entries())
         return out
@@ -601,7 +799,7 @@ class SpeculativeL2:
 
     def check_invariants(self) -> None:
         """Structural invariants; raises AssertionError on violation."""
-        for idx, cset in enumerate(self._sets):
+        for idx, cset in self._sets.items():
             assert len(cset) <= cset.assoc, f"set {idx} over-full"
             seen = set()
             for entry in cset.entries():

@@ -13,6 +13,10 @@ from __future__ import annotations
 from typing import List
 
 
+def _is_pow2(x: int) -> bool:
+    return x > 0 and (x & (x - 1)) == 0
+
+
 class BankedResource:
     """N independently-reserved banks selected by address hashing."""
 
@@ -25,16 +29,34 @@ class BankedResource:
         self._next_free: List[int] = [0] * n_banks
         self.accesses = 0
         self.contention_cycles = 0
+        # With power-of-two line size and bank count (the paper's
+        # configuration) bank selection is a shift and a mask; fall back
+        # to the exact divide/modulo otherwise.
+        if _is_pow2(line_size) and _is_pow2(n_banks):
+            self._line_shift = line_size.bit_length() - 1
+            self._bank_mask = n_banks - 1
+        else:
+            self._line_shift = None
+            self._bank_mask = None
 
     def bank_of(self, addr: int) -> int:
+        if self._bank_mask is not None:
+            return (addr >> self._line_shift) & self._bank_mask
         return (addr // self.line_size) % self.n_banks
 
     def reserve(self, addr: int, now: int) -> int:
         """Reserve the bank for one access; returns the service start time."""
-        bank = self.bank_of(addr)
-        start = max(now, self._next_free[bank])
-        self.contention_cycles += start - now
-        self._next_free[bank] = start + self.occupancy
+        if self._bank_mask is not None:
+            bank = (addr >> self._line_shift) & self._bank_mask
+        else:
+            bank = (addr // self.line_size) % self.n_banks
+        nf = self._next_free
+        start = nf[bank]
+        if now > start:
+            start = now
+        else:
+            self.contention_cycles += start - now
+        nf[bank] = start + self.occupancy
         self.accesses += 1
         return start
 

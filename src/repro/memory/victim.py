@@ -34,7 +34,7 @@ class VictimCache:
         return list(self._entries)
 
     def contains(self, entry: object) -> bool:
-        return any(e is entry for e in self._entries)
+        return entry.in_victim
 
     def versions_of(self, tag: int) -> List[object]:
         return [e for e in self._entries if e.tag == tag]
@@ -63,13 +63,16 @@ class VictimCache:
         overflowed = None
         if len(self._entries) >= self.capacity:
             overflowed = self._entries.pop(0)
+            overflowed.in_victim = False
             self.overflows += 1
         self._entries.append(entry)
+        entry.in_victim = True
         return overflowed
 
     def remove(self, entry: object) -> None:
         for i, e in enumerate(self._entries):
             if e is entry:
                 self._entries.pop(i)
+                entry.in_victim = False
                 return
         raise KeyError("entry not in victim cache")

@@ -73,6 +73,13 @@ class MachineConfig:
     #: epochs on CPU 0, which is how the TLS-SEQ bar is produced: the
     #: TLS-transformed trace with its software overheads, run sequentially.
     region_cpus: int = None
+    #: Pre-lower traces once per region (repro.trace.compile): coalesced
+    #: super-records, interned per-line tuples, and the private/shared
+    #: line classification behind the conflict-aware memory fast path.
+    #: Byte-identical to interpreted replay — every cycle count and
+    #: statistic matches; ``--no-compile-traces`` on the harness CLI (or
+    #: False here) is the escape hatch / differential-testing axis.
+    compile_traces: bool = True
     #: Opt-in cycle-level invariant checking (repro.verify.invariants):
     #: the machine validates protocol and memory-system invariants as it
     #: runs.  Costs simulation time; off for all paper numbers.

@@ -7,8 +7,12 @@ speculative L2, under the TLS protocol implemented by
 
 The simulation is discrete-event: a global heap orders per-CPU "next
 record" events by cycle, so every memory reference, latch operation, and
-violation is processed in global time order.  COMPUTE batches advance a
-CPU's clock many cycles at once without interacting with other CPUs.
+violation is processed in global time order.  Events at the same cycle
+are processed in CPU-index order — a canonical tie-break independent of
+scheduling history, so replaying a trace through the compiled fast path
+(:mod:`repro.trace.compile`) interleaves CPUs identically to the
+per-record interpreted path.  COMPUTE batches advance a CPU's clock many
+cycles at once without interacting with other CPUs.
 
 Scheduling model: a parallel region's epochs are assigned to CPUs in
 logical order, round-robin; a CPU picks up the next unstarted epoch only
@@ -20,6 +24,7 @@ the other CPUs idle.
 from __future__ import annotations
 
 import heapq
+from heapq import heappush as _heappush
 from typing import Dict, List, Optional, Tuple
 
 from ..core.accounting import Category, CycleCounters
@@ -30,6 +35,7 @@ from ..cpu.pipeline import CorePipeline
 from ..memory.l1 import L1Cache
 from ..memory.l2 import SpeculativeL2
 from ..memory.timing import MemorySystemTiming
+from ..trace.compile import MEM as CK_MEM, compile_region
 from ..trace.events import (
     EpochTrace,
     ParallelRegion,
@@ -49,6 +55,12 @@ from .timeline import (
     VIOLATION,
     TimelineEvent,
 )
+
+# Category keys hoisted to module level for the per-record hot paths.
+_BUSY = Category.BUSY
+_MISS = Category.MISS
+_OVERHEAD = Category.OVERHEAD
+_RUNNING = EpochStatus.RUNNING
 
 
 class _CPU:
@@ -135,8 +147,8 @@ class Machine:
         #: waiting for an earlier epoch's store to that line.
         self._sync_waiters: Dict[int, List[int]] = {}
         self.now = 0.0
-        self._heap: List[Tuple[float, int, int, int]] = []
-        self._seq = 0
+        #: (cycle, cpu_index, event_version) — ties resolve by CPU index.
+        self._heap: List[Tuple[float, int, int]] = []
         self._epochs_total = 0
         self._deadlock_breaks = 0
         # Hot-loop constants hoisted out of the per-record dispatch; the
@@ -151,6 +163,45 @@ class Machine:
         self._load_policies = (
             tls.predictor_subthreads or tls.sync_predicted_loads
         )
+        #: Fixed sub-thread spacing, or None under adaptive spacing (the
+        #: per-epoch spacing then requires the engine's policy call).
+        self._subthread_spacing = (
+            None if tls.adaptive_spacing else tls.subthread_spacing
+        )
+        self._value_predict = tls.value_predict_loads
+        self._spec_slice_limit = tls.spec_slice_limit
+        self._max_subthreads = tls.max_subthreads
+        # Memory-timing fast path: the composed MemorySystemTiming calls
+        # decompose into bank/channel reservations plus fixed latencies;
+        # binding the pieces here lets the per-line loops inline the
+        # arithmetic (see timing.py for the composed reference forms).
+        self._banks_reserve = self.msys.banks.reserve
+        self._chan_reserve = self.msys.channel.reserve
+        self._l2_lat = self.msys.l2_latency
+        self._mem_lat = self.msys.memory_latency
+        #: The other CPUs' L1s, per CPU (write-invalidate walk).
+        self._other_l1s = [
+            [o.l1 for o in self.cpus if o is not c] for c in self.cpus
+        ]
+        # Trace compilation (repro.trace.compile): per-region lowered
+        # entry lists, keyed by trace object identity.
+        self._compile_enabled = self.config.compile_traces
+        #: Everything the compiled entries depend on besides the records
+        #: themselves.  Compilations are cached on the segment objects so
+        #: repeated runs of the same trace (figure sweeps, benchmarks)
+        #: skip recompilation; a key mismatch forces a fresh compile.
+        self._compile_key = (
+            self.config.line_size,
+            self.l2.word_size,
+            self.l2.line_granularity_loads,
+            self.config.pipeline,
+            not self._overlap_loads,
+        )
+        self._region_compiled: Optional[Dict[int, list]] = None
+        self._batched_records = 0
+        self._fast_loads = 0
+        self._fast_stores = 0
+        self._private_stores = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -162,9 +213,9 @@ class Machine:
             for segment in txn.segments:
                 if isinstance(segment, SerialSegment):
                     pseudo = EpochTrace(epoch_id=-1, records=segment.records)
-                    self._run_region([pseudo])
+                    self._run_region([pseudo], cache_host=segment)
                 elif isinstance(segment, ParallelRegion):
-                    self._run_region(segment.epochs)
+                    self._run_region(segment.epochs, cache_host=segment)
                 else:
                     raise TypeError(f"unknown segment {segment!r}")
         if self._invariants is not None:
@@ -179,9 +230,34 @@ class Machine:
         width = self.config.region_cpus or self.config.n_cpus
         return max(1, min(width, self.config.n_cpus))
 
-    def _run_region(self, epoch_traces: List[EpochTrace]) -> None:
+    def _run_region(self, epoch_traces: List[EpochTrace],
+                    cache_host=None) -> None:
         if not epoch_traces:
             return
+        if self._compile_enabled:
+            # Compilations are pure functions of (records, compile key),
+            # so they can be reused across Machine instances via the
+            # segment object.  The entries are cached positionally — the
+            # serial pseudo-EpochTrace is recreated per run, so an
+            # id-keyed cache would never hit.
+            per_epoch = None
+            if cache_host is not None:
+                cached = getattr(cache_host, "_compile_cache", None)
+                if cached is not None and cached[0] == self._compile_key:
+                    per_epoch = cached[1]
+            if per_epoch is None:
+                per_epoch = compile_region(
+                    epoch_traces, self.l2, self.config.pipeline,
+                    batches=not self._overlap_loads,
+                ).epochs
+                if cache_host is not None:
+                    cache_host._compile_cache = (self._compile_key, per_epoch)
+            self._region_compiled = {
+                id(t): entries
+                for t, entries in zip(epoch_traces, per_epoch)
+            }
+        else:
+            self._region_compiled = None
         width = self._region_width()
         self._pending = list(epoch_traces)
         self._pending_idx = 0
@@ -197,18 +273,104 @@ class Machine:
         heap = self._heap
         cpus = self.cpus
         heappop = heapq.heappop
-        step = self._step_cpu
+        invariants = self._invariants
+        engine = self.engine
+        # The per-event dispatch (formerly a _step_cpu method) is merged
+        # into the loop: one Python frame per heap event was measurable
+        # at this event rate.
         while self._region_remaining > 0:
             if not heap:
                 self._break_deadlock()
                 continue
-            cycle, _seq, version, cpu_idx = heappop(heap)
+            now, cpu_idx, version = heappop(heap)
             cpu = cpus[cpu_idx]
             if version != cpu.event_version:
                 continue  # superseded by a rewind/wake
-            if cycle > self.now:
-                self.now = cycle
-            step(cpu, cycle)
+            if now > self.now:
+                self.now = now
+            epoch = cpu.epoch
+            if epoch is None or epoch.status != _RUNNING:
+                continue
+            if invariants is not None:
+                invariants.on_step(self)
+            records = epoch.records
+            cursor = epoch.cursor
+            if cursor >= epoch.n_records:  # inline epoch.done
+                self._finish_epoch(cpu, epoch, now)
+                continue
+            # Sub-thread start policy (between records).  Non-speculative
+            # epochs never open sub-threads, so skip the engine call for
+            # them; under fixed spacing the distance check needs no policy
+            # call either (the engine's own first test is the same
+            # comparison).
+            if epoch.speculative:
+                spacing = self._subthread_spacing
+                if (
+                    spacing is None
+                    or epoch.instrs_since_checkpoint >= spacing
+                ) and engine.maybe_start_subthread(epoch, now):
+                    self._emit(now, SUBTHREAD_START, epoch)
+                    cost = self._subthread_start_cost
+                    if cost:
+                        epoch.accrue(Category.OVERHEAD, cost)
+                        self._schedule(cpu, now + cost)
+                        continue
+            compiled = epoch.compiled
+            if compiled is not None:
+                entry = compiled[cursor]
+                if entry is not None:
+                    if entry[0] == CK_MEM:
+                        rec = records[cursor]
+                        if rec[0] == Rec.LOAD:
+                            self._do_load_fast(
+                                cpu, epoch, rec, entry[1], now
+                            )
+                        else:
+                            self._do_store_fast(
+                                cpu, epoch, rec, entry[1], now
+                            )
+                        continue
+                    # Super-records run only for non-speculative epochs
+                    # (no mid-batch violations or sub-thread boundaries
+                    # possible) starting at a record boundary.
+                    if not epoch.speculative and epoch.offset == 0:
+                        self._do_batch(cpu, epoch, entry, now)
+                        continue
+            rec = records[cursor]
+            kind = rec[0]
+            if kind == Rec.COMPUTE:
+                self._do_compute(cpu, epoch, rec[1], Category.BUSY, now)
+            elif kind == Rec.TLS_OVERHEAD:
+                self._do_compute(cpu, epoch, rec[1], Category.OVERHEAD, now)
+            elif kind == Rec.OP:
+                cycles = cpu.pipeline.op_cycles(rec[1], rec[2])
+                # epoch.retire + epoch.accrue + _schedule, inlined.
+                epoch.instrs_since_checkpoint += rec[2]
+                cp = epoch.subthreads[-1]
+                cp.instructions += rec[2]
+                cp.pending.cycles[_BUSY] += cycles
+                epoch.cursor = cursor + 1
+                cpu.event_version += 1
+                _heappush(heap, (now + cycles, cpu_idx, cpu.event_version))
+            elif kind == Rec.BRANCH:
+                cycles = cpu.pipeline.branch_cycles(rec[1], rec[2])
+                epoch.instrs_since_checkpoint += 1
+                cp = epoch.subthreads[-1]
+                cp.instructions += 1
+                cp.pending.cycles[_BUSY] += cycles
+                epoch.cursor = cursor + 1
+                cpu.event_version += 1
+                _heappush(heap, (now + cycles, cpu_idx, cpu.event_version))
+            elif kind == Rec.LOAD:
+                self._do_load(cpu, epoch, rec, now)
+            elif kind == Rec.STORE:
+                self._do_store(cpu, epoch, rec, now)
+            elif kind == Rec.LATCH_ACQ:
+                self._do_latch_acquire(cpu, epoch, rec, now)
+            elif kind == Rec.LATCH_REL:
+                self._do_latch_release(cpu, epoch, rec, now)
+            else:
+                raise ValueError(f"unknown record kind {kind}")
 
     def _start_next_epoch(self, cpu: _CPU, now: float) -> None:
         trace = self._pending[self._pending_idx]
@@ -217,6 +379,8 @@ class Machine:
         epoch = self.engine.start_epoch(
             trace, cpu.index, now, speculative=speculative
         )
+        if self._region_compiled is not None:
+            epoch.compiled = self._region_compiled[id(trace)]
         cpu.epoch = epoch
         cpu.l1.clear_spec_marks()
         self._epochs_total += 1
@@ -239,64 +403,45 @@ class Machine:
 
     def _schedule(self, cpu: _CPU, cycle: float) -> None:
         cpu.event_version += 1
-        self._seq += 1
-        heapq.heappush(
-            self._heap, (cycle, self._seq, cpu.event_version, cpu.index)
-        )
+        heapq.heappush(self._heap, (cycle, cpu.index, cpu.event_version))
 
     # ------------------------------------------------------------------
     # Per-record execution
     # ------------------------------------------------------------------
 
-    def _step_cpu(self, cpu: _CPU, now: float) -> None:
-        epoch = cpu.epoch
-        if epoch is None or epoch.status != EpochStatus.RUNNING:
-            return
-        if self._invariants is not None:
-            self._invariants.on_step(self)
-        records = epoch.trace.records
-        if epoch.cursor >= len(records):  # inline epoch.done
-            self._finish_epoch(cpu, epoch, now)
-            return
-        # Sub-thread start policy (between records).  Non-speculative
-        # epochs never open sub-threads, so skip the engine call for them.
-        if epoch.speculative and self.engine.maybe_start_subthread(
-            epoch, now
-        ):
-            self._emit(now, SUBTHREAD_START, epoch)
-            cost = self._subthread_start_cost
-            if cost:
-                epoch.accrue(Category.OVERHEAD, cost)
-                self._schedule(cpu, now + cost)
-                return
-        rec = records[epoch.cursor]
-        kind = rec[0]
-        if kind == Rec.COMPUTE:
-            self._do_compute(cpu, epoch, rec[1], Category.BUSY, now)
-        elif kind == Rec.TLS_OVERHEAD:
-            self._do_compute(cpu, epoch, rec[1], Category.OVERHEAD, now)
-        elif kind == Rec.OP:
-            cycles = cpu.pipeline.op_cycles(rec[1], rec[2])
-            epoch.retire(rec[2])
-            epoch.accrue(Category.BUSY, cycles)
-            epoch.cursor += 1
-            self._schedule(cpu, now + cycles)
-        elif kind == Rec.BRANCH:
-            cycles = cpu.pipeline.branch_cycles(rec[1], rec[2])
-            epoch.retire(1)
-            epoch.accrue(Category.BUSY, cycles)
-            epoch.cursor += 1
-            self._schedule(cpu, now + cycles)
-        elif kind == Rec.LOAD:
-            self._do_load(cpu, epoch, rec, now)
-        elif kind == Rec.STORE:
-            self._do_store(cpu, epoch, rec, now)
-        elif kind == Rec.LATCH_ACQ:
-            self._do_latch_acquire(cpu, epoch, rec, now)
-        elif kind == Rec.LATCH_REL:
-            self._do_latch_release(cpu, epoch, rec, now)
-        else:
-            raise ValueError(f"unknown record kind {kind}")
+    def _do_batch(self, cpu: _CPU, epoch: EpochExecution, entry,
+                  now: float) -> None:
+        """Execute a compiled super-record (non-speculative epochs only).
+
+        The static compute/op/overhead cycles were pre-summed at compile
+        time with the pipeline model's exact per-record rounding; branch
+        outcomes are replayed against the live predictor here because it
+        is stateful.  The total charged equals the sum the interpreted
+        path would charge record by record, and because a non-speculative
+        epoch's intermediate events touch no cross-CPU state, collapsing
+        them into one event leaves the global interleaving unchanged.
+        """
+        _, end, busy, overhead, instrs, branches = entry
+        pipeline = cpu.pipeline
+        if branches:
+            predict = pipeline.predictor.predict_and_update
+            penalty = pipeline.config.mispredict_penalty
+            for pc, taken in branches:
+                if not predict(pc, taken):
+                    busy += penalty
+        pipeline.instructions_retired += instrs
+        epoch.instrs_since_checkpoint += instrs
+        cp = epoch.subthreads[-1]
+        cp.instructions += instrs
+        self._batched_records += end - epoch.cursor
+        if busy:
+            cp.pending.cycles[_BUSY] += busy
+        if overhead:
+            cp.pending.cycles[_OVERHEAD] += overhead
+        epoch.cursor = end
+        cpu.event_version += 1
+        _heappush(self._heap,
+                  (now + busy + overhead, cpu.index, cpu.event_version))
 
     def _mlp_stall(self, cpu: _CPU, epoch: EpochExecution,
                    now: float) -> float:
@@ -336,28 +481,37 @@ class Machine:
             # exactly on the spacing schedule, and a violation arriving
             # mid-slice mis-attributes at most one slice of cycles to
             # Failed (even when the periodic policy is disabled).
-            spacing = self.engine.spacing_for(epoch)
-            chunk = min(chunk, spacing, self.config.tls.spec_slice_limit)
-            if len(epoch.subthreads) < self.config.tls.max_subthreads:
+            spacing = self._subthread_spacing
+            if spacing is None:
+                spacing = self.engine.spacing_for(epoch)
+            chunk = min(chunk, spacing, self._spec_slice_limit)
+            if len(epoch.subthreads) < self._max_subthreads:
                 to_boundary = spacing - epoch.instrs_since_checkpoint
                 if 0 < to_boundary < chunk:
                     chunk = to_boundary
-        cycles = cpu.pipeline.compute_cycles(chunk)
+        # cpu.pipeline.compute_cycles, inlined.
+        pipeline = cpu.pipeline
+        pipeline.instructions_retired += chunk
+        width = pipeline._issue_width
+        cycles = (chunk + width - 1) // width
         mlp_stall = (
             self._mlp_stall(cpu, epoch, now)
             if self._overlap_loads else 0.0
         )
-        epoch.retire(chunk)
-        epoch.accrue(category, cycles)
+        epoch.instrs_since_checkpoint += chunk
+        cp = epoch.subthreads[-1]
+        cp.instructions += chunk
+        cp.pending.cycles[category] += cycles
         if mlp_stall:
-            epoch.accrue(Category.MISS, mlp_stall)
+            cp.pending.cycles[_MISS] += mlp_stall
             cycles += mlp_stall
         if epoch.offset + chunk >= count:
             epoch.cursor += 1
             epoch.offset = 0
         else:
             epoch.offset += chunk
-        self._schedule(cpu, now + cycles)
+        cpu.event_version += 1
+        _heappush(self._heap, (now + cycles, cpu.index, cpu.event_version))
 
     # ------------------------------------------------------------------
     # Memory references
@@ -478,7 +632,7 @@ class Machine:
         geom = self.l2.geom
         engine = self.engine
         msys = self.msys
-        cpus = self.cpus
+        other_l1s = self._other_l1s[cpu.index]
         l1 = cpu.l1
         line_size = geom.line_size
         speculative = epoch.speculative
@@ -501,10 +655,11 @@ class Machine:
                 msys.extra_memory_transfer(now)
             if result.invalidated_lines:
                 self._apply_inclusion(result.invalidated_lines)
-            # Write-invalidate coherence: drop stale copies in other L1s.
-            for other in cpus:
-                if other is not cpu:
-                    other.l1.invalidate(line)
+            # Write-invalidate coherence: drop stale copies in other L1s
+            # (empty caches have nothing to drop).
+            for ol1 in other_l1s:
+                if line in ol1.resident:
+                    ol1.invalidate(line)
             l1.fill(
                 line,
                 spec=speculative,
@@ -535,7 +690,257 @@ class Machine:
         """L2 evictions invalidate any L1 copies (inclusion)."""
         for line in lines:
             for cpu in self.cpus:
-                cpu.l1.invalidate(line)
+                if line in cpu.l1.resident:
+                    cpu.l1.invalidate(line)
+
+    # ------------------------------------------------------------------
+    # Memory references — compiled fast path (repro.trace.compile)
+    # ------------------------------------------------------------------
+
+    def _do_load_fast(self, cpu: _CPU, epoch: EpochExecution, rec,
+                      lines, now: float) -> None:
+        """Load with precompiled per-line tuples.
+
+        Mirrors :meth:`_do_load` exactly, but the line walk, access
+        clipping, and mask arithmetic were done once at compile time.
+        """
+        pc = rec[3]
+        if cpu.sync_skip:
+            cpu.sync_skip = False
+        elif self._load_policies:
+            if self.engine.maybe_start_predictor_subthread(epoch, pc, now):
+                self._emit(now, SUBTHREAD_START, epoch, detail="predictor")
+                cost = self._subthread_start_cost
+                if cost:
+                    epoch.accrue(Category.OVERHEAD, cost)
+                    self._schedule(cpu, now + cost)
+                    return
+            if self.engine.should_synchronize_load(epoch, pc):
+                line = lines[0][0]
+                cpu.sync_line = line
+                cpu.block_start = now
+                self._emit(now, STALL_BEGIN, epoch, detail="sync")
+                cpu.event_version += 1
+                self._sync_waiters.setdefault(line, []).append(cpu.index)
+                return
+        # epoch.retire(1), inlined (hot path).
+        epoch.instrs_since_checkpoint += 1
+        cp = epoch.subthreads[-1]
+        cp.instructions += 1
+        if self.observer is not None:
+            self.observer.on_op(epoch, Rec.LOAD, rec[1], rec[2], pc)
+        self._fast_loads += 1
+        l1 = cpu.l1
+        msys = self.msys
+        banks_reserve = self._banks_reserve
+        chan_reserve = self._chan_reserve
+        l2_lat = self._l2_lat
+        mem_lat = self._mem_lat
+        overlap = self._overlap_loads
+        l2_load = self.l2.load_line
+        order = epoch.order
+        stall = 0.0
+        if not epoch.speculative:
+            # Non-speculative epochs never expose loads, value-predict,
+            # or carry a context: go straight to the L2.
+            for line, _sub_addr, _mask, load_bits, _private in lines:
+                if l1.access(line):
+                    continue
+                hit, result = l2_load(line, order, None, False, load_bits)
+                if hit:
+                    # msys.l2_access, inlined.
+                    ready = banks_reserve(line, now) + l2_lat
+                else:
+                    # msys.memory_access, inlined.
+                    ready = chan_reserve(
+                        banks_reserve(line, now) + l2_lat
+                    ) + mem_lat
+                    if result.memory_accesses > 1:
+                        for _ in range(result.memory_accesses - 1):
+                            msys.extra_memory_transfer(now)
+                    if result.invalidated_lines:
+                        self._apply_inclusion(result.invalidated_lines)
+                if overlap:
+                    if len(cpu.outstanding) >= self._mshr_entries:
+                        oldest_ready, _ = cpu.outstanding.pop(0)
+                        stall = max(stall, oldest_ready - now)
+                    cpu.outstanding.append(
+                        (ready, cpu.pipeline.instructions_retired)
+                    )
+                elif ready - now > stall:
+                    stall = ready - now
+                l1.fill(line, spec=False, subidx=-1)
+        else:
+            # Speculative loads: engine.load_compiled is inlined below
+            # (covers_load via the epoch's store-mask union, the value-
+            # prediction gate, and the exposed-load-table update).
+            engine = self.engine
+            su = epoch.store_union
+            vp = self._value_predict
+            ctx = cp.ctx
+            subidx = cp.index
+            elt_update = engine.exposed_load_tables[epoch.cpu].update
+            for line, sub_addr, mask, load_bits, _private in lines:
+                if l1.access(line):
+                    if not l1.is_notified(line):
+                        written = su.get(line)
+                        if written is None or (mask & ~written):
+                            # First exposed access to this line by this
+                            # epoch: notify the L2 (asynchronous;
+                            # reserves a bank slot but does not stall
+                            # the CPU).
+                            exposed = True
+                            if vp and engine._value_prediction_hits(
+                                epoch, sub_addr, pc
+                            ):
+                                exposed = False
+                                engine.value_predictions_used += 1
+                            l2_load(line, order, ctx, exposed, load_bits)
+                            banks_reserve(line, now)
+                            if exposed:
+                                elt_update(line, pc)
+                                l1.mark_spec(
+                                    line, notified=True, subidx=subidx
+                                )
+                    continue
+                written = su.get(line)
+                exposed = written is None or bool(mask & ~written)
+                if exposed and vp and engine._value_prediction_hits(
+                    epoch, sub_addr, pc
+                ):
+                    exposed = False
+                    engine.value_predictions_used += 1
+                hit, result = l2_load(line, order, ctx, exposed, load_bits)
+                if exposed:
+                    elt_update(line, pc)
+                if hit:
+                    # msys.l2_access, inlined.
+                    ready = banks_reserve(line, now) + l2_lat
+                else:
+                    # msys.memory_access, inlined.
+                    ready = chan_reserve(
+                        banks_reserve(line, now) + l2_lat
+                    ) + mem_lat
+                    if result.memory_accesses > 1:
+                        for _ in range(result.memory_accesses - 1):
+                            msys.extra_memory_transfer(now)
+                    if result.invalidated_lines:
+                        self._apply_inclusion(result.invalidated_lines)
+                if overlap:
+                    if len(cpu.outstanding) >= self._mshr_entries:
+                        oldest_ready, _ = cpu.outstanding.pop(0)
+                        stall = max(stall, oldest_ready - now)
+                    cpu.outstanding.append(
+                        (ready, cpu.pipeline.instructions_retired)
+                    )
+                elif ready - now > stall:
+                    stall = ready - now
+                # fill + mark_spec folded into one lookup.
+                l1.fill(line, spec=True, subidx=subidx, notified=exposed)
+        # epoch.accrue + _schedule, inlined.
+        cp.pending.cycles[_BUSY] += 1
+        if stall > 0:
+            cp.pending.cycles[_MISS] += stall
+        epoch.cursor += 1
+        cpu.event_version += 1
+        _heappush(self._heap,
+                  (now + 1 + stall, cpu.index, cpu.event_version))
+
+    def _do_store_fast(self, cpu: _CPU, epoch: EpochExecution, rec,
+                       lines, now: float) -> None:
+        """Store with precompiled per-line tuples.
+
+        Mirrors :meth:`_do_store`; additionally, region-private lines
+        (only this epoch ever touches them) skip the violation scan in
+        the L2 and the synchronized-load wakeup — both provably no-ops
+        for such lines.
+        """
+        pc = rec[3]
+        # epoch.retire(1), inlined (hot path).
+        epoch.instrs_since_checkpoint += 1
+        epoch.subthreads[-1].instructions += 1
+        if self.observer is not None:
+            self.observer.on_op(epoch, Rec.STORE, rec[1], rec[2], pc)
+        self._fast_stores += 1
+        engine = self.engine
+        msys = self.msys
+        l1 = cpu.l1
+        other_l1s = self._other_l1s[cpu.index]
+        banks_reserve = self._banks_reserve
+        sync_waiters = self._sync_waiters
+        l2_store = self.l2.store_line
+        order = epoch.order
+        speculative = epoch.speculative
+        if speculative:
+            # engine.store_compiled's prologue (epoch.note_store +
+            # epoch.current_ctx), inlined; every epoch has sub-thread 0.
+            cp = epoch.subthreads[-1]
+            sm = cp.store_mask
+            su = epoch.store_union
+            ctx = cp.ctx
+            subidx = cp.index
+        else:
+            sm = su = None
+            ctx = None
+            subidx = -1
+        self_rewound = False
+        for line, _sub_addr, words, _load_bits, private in lines:
+            if speculative:
+                sm[line] = sm.get(line, 0) | words
+                su[line] = su.get(line, 0) | words
+            _hit, result = l2_store(line, order, ctx, words, pc,
+                                    not private)
+            rewinds = None
+            if result is not None:
+                violations = result.violations
+                overflow = result.overflow_squash
+                if violations or overflow:
+                    rewinds = engine._resolve_violations(violations)
+                    if overflow:
+                        rewinds.extend(engine._resolve_overflow(overflow))
+            # Write-through: the store reserves bandwidth but the CPU does
+            # not wait for it (store buffer).
+            banks_reserve(line, now)
+            if result is not None:
+                if result.memory_accesses:
+                    for _ in range(result.memory_accesses):
+                        msys.extra_memory_transfer(now)
+                if result.invalidated_lines:
+                    self._apply_inclusion(result.invalidated_lines)
+            for ol1 in other_l1s:
+                if line in ol1.resident:
+                    ol1.invalidate(line)
+            l1.fill(line, spec=speculative, subidx=subidx)
+            # Rewinds (overflow squashes can hit even on private lines)
+            # apply before waking synchronized loads — see _do_store.
+            if rewinds:
+                self._apply_rewinds(rewinds, now)
+                self_rewound = self_rewound or any(
+                    r.epoch is epoch for r in rewinds
+                )
+                if speculative:
+                    # A rewind may have truncated the sub-thread list and
+                    # replaced the store-mask union: refresh the locals.
+                    cp = epoch.subthreads[-1]
+                    sm = cp.store_mask
+                    su = epoch.store_union
+                    ctx = cp.ctx
+                    subidx = cp.index
+            if private:
+                self._private_stores += 1
+            elif sync_waiters:
+                # A waiter's synchronization line appears in its own
+                # trace, so a line no other epoch touches has no waiters.
+                self._wake_sync_on_store(line, order, now)
+        if self_rewound:
+            # Our own state overflowed and we were squashed mid-record;
+            # the rewind already rescheduled us.
+            return
+        # epoch.accrue + _schedule, inlined.
+        epoch.subthreads[-1].pending.cycles[_BUSY] += 1
+        epoch.cursor += 1
+        cpu.event_version += 1
+        _heappush(self._heap, (now + 1, cpu.index, cpu.event_version))
 
     # ------------------------------------------------------------------
     # Latches (escaped speculation)
@@ -816,5 +1221,9 @@ class Machine:
         )
         stats.epochs_total = self._epochs_total
         stats.deadlock_breaks = self._deadlock_breaks
+        stats.compiled_batched_records = self._batched_records
+        stats.compiled_fastpath_loads = self._fast_loads
+        stats.compiled_fastpath_stores = self._fast_stores
+        stats.private_line_stores = self._private_stores
         stats.finalize_idle()
         return stats

@@ -43,6 +43,17 @@ class SimulationStats:
     failed_instruction_replays: int = 0
     #: Times the machine's deadlock safety net had to force a rewind.
     deadlock_breaks: int = 0
+    # Trace-compilation telemetry (repro.trace.compile).  compare=False:
+    # these describe *how* the run executed, not what it computed, so a
+    # compiled and an interpreted run of the same workload still compare
+    # equal on every architectural statistic.
+    #: Records executed via coalesced super-records.
+    compiled_batched_records: int = field(default=0, compare=False)
+    #: Loads / stores dispatched through the precompiled line tuples.
+    compiled_fastpath_loads: int = field(default=0, compare=False)
+    compiled_fastpath_stores: int = field(default=0, compare=False)
+    #: Fast-path stores to region-private lines (violation scan skipped).
+    private_line_stores: int = field(default=0, compare=False)
 
     def finalize_idle(self) -> None:
         """Attribute every unaccounted CPU-cycle to Idle."""

@@ -5,6 +5,9 @@ words, private scratch, latches under a global ordering discipline) and
 a random machine/TLS configuration, lints the trace, then replays it
 under every :class:`~repro.sim.ExecutionMode` with the commit-log
 observer attached and the serial-replay oracle checking the result.
+Each (mode, config) case runs through *both* simulator paths — compiled
+traces and fully interpreted — and the two runs must agree on every
+simulation statistic, making the trace compiler itself a fuzzed axis.
 With ``--check-invariants`` the cycle-level invariant checker runs as
 well, at a tight sweep interval.
 
@@ -196,9 +199,27 @@ def _run_case(
     workload: WorkloadTrace, config: MachineConfig
 ) -> Optional[str]:
     """Run one (workload, config) under the oracle; returns the failure
-    message, or None when the run is equivalent."""
+    message, or None when the run is equivalent.
+
+    Every case runs twice — once through the compiled-trace fast path
+    and once fully interpreted — with the oracle (and, when configured,
+    the invariant checker) attached to both.  The two runs must produce
+    equal simulation statistics; ``SimulationStats.__eq__`` already
+    ignores the compile-telemetry counters, which are the only fields
+    allowed to differ.
+    """
     try:
-        run_with_oracle(workload, config)
+        compiled = run_with_oracle(
+            workload, dataclasses.replace(config, compile_traces=True)
+        )
+        interpreted = run_with_oracle(
+            workload, dataclasses.replace(config, compile_traces=False)
+        )
+        if compiled.stats != interpreted.stats:
+            return (
+                "CompiledPathMismatch: compiled-trace stats differ from "
+                "the interpreted path"
+            )
     except (OracleMismatch, InvariantError, AssertionError) as exc:
         return f"{type(exc).__name__}: {exc}"
     except Exception as exc:  # simulator crash is a finding too

@@ -9,8 +9,11 @@ the database half of the differential oracle (``db_digest``).
 
 from __future__ import annotations
 
+import dataclasses
+
 import pytest
 
+from repro.sim import ExecutionMode, Machine, MachineConfig
 from repro.tpcc import TPCCScale, generate_workload
 from repro.verify import db_digest
 
@@ -53,3 +56,27 @@ class TestSequentialVsTlsSeq:
         a, _ = _digest("payment", tls_mode=False)
         b, _ = _digest("payment", tls_mode=False)
         assert a == b
+
+
+class TestCompiledPathDbInvariance:
+    """Trace compilation is a simulator-side optimization: it must not
+    perturb database state, and the simulation it times must be the
+    same simulation in every execution mode."""
+
+    @pytest.mark.parametrize("mode", ExecutionMode.ALL)
+    def test_db_digest_identical_compiled_vs_interpreted(self, mode):
+        gw = generate_workload(
+            "new_order",
+            tls_mode=mode != ExecutionMode.SEQUENTIAL,
+            n_transactions=2, seed=42, scale=TPCCScale.tiny(),
+        )
+        before = db_digest(gw.db)
+        config = MachineConfig.for_mode(mode)
+        compiled = Machine(config).run(gw.trace)
+        after_compiled = db_digest(gw.db)
+        interpreted = Machine(
+            dataclasses.replace(config, compile_traces=False)
+        ).run(gw.trace)
+        after_interpreted = db_digest(gw.db)
+        assert before == after_compiled == after_interpreted
+        assert compiled == interpreted
