@@ -35,6 +35,7 @@ sys.path.insert(
 
 from repro.harness import ExperimentContext, JobRunner  # noqa: E402
 from repro.harness.export import result_to_dict  # noqa: E402
+from repro.obs import atomic_write_json, build_manifest, finish_manifest  # noqa: E402
 from repro.harness.figure5 import run_figure5  # noqa: E402
 from repro.harness.figure6 import run_figure6  # noqa: E402
 from repro.harness.tracecache import TraceSpec, materialize  # noqa: E402
@@ -153,9 +154,7 @@ def append_trajectory(path: pathlib.Path, entry: dict,
                 )
                 status = 1
     history.append(entry)
-    with open(path, "w") as fh:
-        json.dump(history, fh, indent=1, sort_keys=True)
-        fh.write("\n")
+    atomic_write_json(path, history)
     print(f"appended to {path} ({len(history)} entries)")
     return status
 
@@ -195,6 +194,20 @@ def main(argv=None) -> int:
 
     n_cpus = os.cpu_count() or 1
     jobs = args.jobs if args.jobs > 0 else n_cpus
+    bench_t0 = time.perf_counter()
+    manifest = build_manifest(
+        command=["python", "benchmarks/bench_speed.py"]
+        + (list(argv) if argv is not None else sys.argv[1:]),
+        config={
+            "transactions": args.transactions,
+            "seed": args.seed,
+            "scale": "tiny" if args.tiny else "default",
+            "jobs": jobs,
+            "repeat": args.repeat,
+            "compile_traces": not args.no_compile_traces,
+        },
+        seed=args.seed,
+    )
 
     print("timing serial harness (figure5+figure6, jobs=1) ...")
     serial_s, serial_results = time_harness(args, jobs=1)
@@ -264,11 +277,11 @@ def main(argv=None) -> int:
         },
         "harness": harness,
         "inner_loop": inner_loop,
+        "manifest": finish_manifest(
+            manifest, time.perf_counter() - bench_t0
+        ),
     }
-    args.out.parent.mkdir(parents=True, exist_ok=True)
-    with open(args.out, "w") as fh:
-        json.dump(perf, fh, indent=1, sort_keys=True)
-        fh.write("\n")
+    atomic_write_json(args.out, perf)
     print(f"wrote {args.out}")
 
     status = 0 if identical else 1
@@ -280,6 +293,9 @@ def main(argv=None) -> int:
             "records_per_second": round(records_per_s, 1),
             "compile_traces": not args.no_compile_traces,
             "python": platform.python_version(),
+            "manifest": finish_manifest(
+                manifest, time.perf_counter() - bench_t0
+            ),
         }
         status = max(
             status, append_trajectory(args.trajectory, entry, args.min_ratio)

@@ -30,11 +30,21 @@ class ExposedLoadTable:
         self.line_size = line_size
         self._tags: List[Optional[int]] = [None] * entries
         self._pcs: List[int] = [0] * entries
+        # entries is a power of two (asserted above) and line sizes are
+        # in practice too, so indexing is a shift+mask instead of a
+        # divide+modulo; the divide path remains for odd line sizes.
+        self._entry_mask = entries - 1
+        if line_size > 0 and not (line_size & (line_size - 1)):
+            self._line_shift: Optional[int] = line_size.bit_length() - 1
+        else:
+            self._line_shift = None
         self.updates = 0
         self.lookups = 0
         self.tag_mismatches = 0
 
     def _index(self, line_addr: int) -> int:
+        if self._line_shift is not None:
+            return (line_addr >> self._line_shift) & self._entry_mask
         return (line_addr // self.line_size) % self.entries
 
     def update(self, line_addr: int, pc: int) -> None:
@@ -106,6 +116,14 @@ class DependenceProfiler:
             key=lambda e: e.failed_cycles,
             reverse=True,
         )[:n]
+
+    def pairs(self, n: int = 10) -> List[Tuple]:
+        """``top(n)`` as plain (load PC, store PC, failed cycles,
+        violations) tuples — JSON-friendly for stats/trace export."""
+        return [
+            (dep.load_pc, dep.store_pc, dep.failed_cycles, dep.violations)
+            for dep in self.top(n)
+        ]
 
     def report(self, pc_names=None, n: int = 10) -> str:
         """Human-readable profile (the paper's software interface)."""

@@ -8,6 +8,7 @@ import pathlib
 import sys
 import time
 
+from ..obs import SpanTracer, build_manifest, finish_manifest, main_command
 from ..sim.config import table1_text
 from ..tpcc import TPCCScale
 from .ablations import (
@@ -52,13 +53,24 @@ EXPERIMENTS = (
     "all",
 )
 
+#: Non-experiment commands sharing the entry point.
+COMMANDS = EXPERIMENTS + ("report",)
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate the paper's tables and figures.",
     )
-    parser.add_argument("experiment", choices=EXPERIMENTS)
+    parser.add_argument("experiment", choices=COMMANDS)
+    parser.add_argument(
+        "report_file",
+        nargs="?",
+        type=pathlib.Path,
+        default=None,
+        metavar="RUN_JSONL",
+        help="run log to summarize (only with the 'report' command)",
+    )
     parser.add_argument(
         "--transactions",
         type=int,
@@ -130,7 +142,43 @@ def main(argv=None) -> int:
             "hatch — results are byte-identical either way"
         ),
     )
+    parser.add_argument(
+        "--trace-out",
+        type=pathlib.Path,
+        default=None,
+        metavar="RUN_JSONL",
+        help=(
+            "write a structured JSONL run log (spans, per-job counters, "
+            "dependence events) for 'report' and downstream tooling; "
+            "off by default — untraced runs take the original code path"
+        ),
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help=(
+            "render live progress (jobs done/total, ETA, per-worker "
+            "heartbeats) to stderr; off by default"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    if args.experiment == "report":
+        if args.report_file is None:
+            parser.error("report requires a run-log path: report run.jsonl")
+        from ..obs.report import render_report
+
+        try:
+            print(render_report(args.report_file))
+        except BrokenPipeError:
+            # Piped into head/less and the reader closed early; point
+            # stdout at devnull so interpreter shutdown doesn't raise
+            # a second time on flush.
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+            return 0
+        return 0
+    if args.report_file is not None:
+        parser.error("a run-log path only makes sense with 'report'")
 
     if args.scale == "paper":
         scale = TPCCScale.paper()
@@ -151,6 +199,7 @@ def main(argv=None) -> int:
         jobs=args.jobs if args.jobs > 0 else (os.cpu_count() or 1),
         trace_cache=cache_dir,
         config_overrides=overrides or None,
+        progress=args.progress,
     )
     ctx = ExperimentContext(
         n_transactions=args.transactions, seed=args.seed, scale=scale,
@@ -222,17 +271,61 @@ def main(argv=None) -> int:
         list(EXPERIMENTS[:-1]) if args.experiment == "all"
         else [args.experiment]
     )
-    for name in wanted:
-        print(f"\n### {name} ###", flush=True)
-        t0 = time.time()
-        result, text = experiment_results(name)
-        print(text)
-        if args.out is not None:
-            if name == "table1":
-                export_text(text, args.out / "table1.txt")
+    manifest = build_manifest(
+        command=main_command(argv),
+        config={
+            "experiment": args.experiment,
+            "transactions": args.transactions,
+            "seed": args.seed,
+            "scale": args.scale or ("tiny" if args.tiny else "default"),
+            "jobs": runner.jobs,
+            "compile_traces": not args.no_compile_traces,
+            "check_invariants": args.check_invariants,
+        },
+        seed=args.seed,
+    )
+    tracer = None
+    if args.trace_out is not None:
+        tracer = SpanTracer(args.trace_out, manifest=manifest)
+        runner.tracer = tracer
+    run_t0 = time.perf_counter()
+    try:
+        for name in wanted:
+            print(f"\n### {name} ###", flush=True)
+            t0 = time.perf_counter()
+            if tracer is not None:
+                with tracer.span(f"experiment.{name}"):
+                    result, text = experiment_results(name)
             else:
-                export_json(result, args.out / f"{name}.json")
-        print(f"[{name} took {time.time() - t0:.1f}s]", flush=True)
+                result, text = experiment_results(name)
+            elapsed = time.perf_counter() - t0
+            print(text)
+            if args.out is not None:
+                done = finish_manifest(
+                    manifest, elapsed,
+                    trace_spec_keys=runner.trace_spec_keys(),
+                )
+                done["artifact"] = name
+                if name == "table1":
+                    export_text(
+                        text, args.out / "table1.txt", manifest=done
+                    )
+                else:
+                    export_json(
+                        result, args.out / f"{name}.json", manifest=done
+                    )
+            print(f"[{name} took {elapsed:.1f}s]", flush=True)
+    finally:
+        if tracer is not None:
+            from .tracecache import STATS as trace_cache_stats
+
+            tracer.counter("tracecache", dict(trace_cache_stats))
+            tracer.event(
+                "run.finish",
+                wall_seconds=round(time.perf_counter() - run_t0, 3),
+                experiments=wanted,
+            )
+            tracer.close()
     return 0
 
 

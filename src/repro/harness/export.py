@@ -9,7 +9,10 @@ from __future__ import annotations
 
 import dataclasses
 import json
-from typing import Any
+from typing import Any, Dict, Optional
+
+from ..obs.atomicio import atomic_write_text
+from ..obs.manifest import write_manifest
 
 
 def result_to_dict(result: Any) -> Any:
@@ -30,14 +33,27 @@ def result_to_dict(result: Any) -> Any:
     return str(result)
 
 
-def export_json(result: Any, path) -> None:
-    """Write a result object as JSON to ``path``."""
-    with open(path, "w") as fh:
-        json.dump(result_to_dict(result), fh, indent=1, sort_keys=True)
+def export_json(result: Any, path,
+                manifest: Optional[Dict[str, Any]] = None) -> None:
+    """Atomically write a result object as JSON to ``path``.
+
+    The byte format (``json.dump`` with indent=1, sorted keys, no
+    trailing newline) is load-bearing: CI ``cmp``-compares these files
+    across serial/parallel/compiled runs.  A ``manifest`` is therefore
+    written as a sidecar (``x.json`` → ``x.manifest.json``), never
+    embedded.
+    """
+    atomic_write_text(
+        path, json.dumps(result_to_dict(result), indent=1, sort_keys=True)
+    )
+    if manifest is not None:
+        write_manifest(path, manifest)
 
 
-def export_text(text: str, path) -> None:
-    with open(path, "w") as fh:
-        fh.write(text)
-        if not text.endswith("\n"):
-            fh.write("\n")
+def export_text(text: str, path,
+                manifest: Optional[Dict[str, Any]] = None) -> None:
+    if not text.endswith("\n"):
+        text += "\n"
+    atomic_write_text(path, text)
+    if manifest is not None:
+        write_manifest(path, manifest)

@@ -7,6 +7,22 @@ all hardware configurations.  This module fans a job list over a
 ``ProcessPoolExecutor`` while keeping the results in submission order, so
 a parallel run is bit-identical to a serial one.
 
+Failure handling is first-class:
+
+* a crash inside a worker surfaces as :class:`JobFailure` naming the
+  failing job (benchmark, trace-spec key, config shape) and carrying the
+  worker's traceback — not an anonymous ``BrokenProcessPool``;
+* the first failure cancels every not-yet-started job instead of
+  grinding through the rest of the sweep;
+* ``KeyboardInterrupt`` shuts the pool down without waiting for queued
+  work.
+
+With a :class:`~repro.obs.progress.ProgressReporter` (harness
+``--progress``), workers stamp per-process heartbeats into a shared
+mapping so the parent can render jobs done/total, ETA, and flag hung
+workers.  Without one, no Manager process is started and workers run the
+original code path.
+
 Two rules keep the workers cheap and picklable:
 
 * jobs that reference a :class:`~repro.harness.tracecache.TraceSpec`
@@ -18,8 +34,14 @@ Two rules keep the workers cheap and picklable:
 
 from __future__ import annotations
 
-import functools
-from concurrent.futures import ProcessPoolExecutor
+import os
+import time
+import traceback
+from concurrent.futures import (
+    FIRST_EXCEPTION,
+    ProcessPoolExecutor,
+    wait,
+)
 from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from ..sim import Machine, SimulationStats
@@ -27,17 +49,51 @@ from ..trace import WorkloadTrace
 from .tracecache import TraceSpec, materialize, spec_key
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.progress import ProgressReporter
     from .runner import SimJob
+
+
+class JobFailure(RuntimeError):
+    """A worker crashed on an identifiable job.
+
+    Carries a single pre-formatted string (job label + worker traceback)
+    so the exception round-trips through pickling between processes.
+    """
+
+
+def describe_job(job: "SimJob") -> str:
+    """Short human label identifying a job in errors/heartbeats."""
+    if job.spec is not None:
+        name = "kv" if job.spec.kind == "kv" else job.spec.benchmark
+        label = f"{name}[{spec_key(job.spec)[:8]}]"
+    else:
+        label = "inline-trace"
+    return f"{label} cpus={job.config.n_cpus}"
+
 
 # Per-worker state, installed by the pool initializer.
 _worker_cache_dir = None
 _worker_memo: Dict[str, WorkloadTrace] = {}
+#: Shared heartbeat mapping (pid -> (job label, monotonic stamp)), or
+#: None when progress reporting is off.
+_worker_heartbeats = None
 
 
-def _init_worker(cache_dir) -> None:
-    global _worker_cache_dir
+def _init_worker(cache_dir, heartbeats=None) -> None:
+    global _worker_cache_dir, _worker_heartbeats
     _worker_cache_dir = cache_dir
+    _worker_heartbeats = heartbeats
     _worker_memo.clear()
+
+
+def _beat(label: str) -> None:
+    """Stamp this worker's heartbeat (best-effort; never fails a job)."""
+    if _worker_heartbeats is None:
+        return
+    try:
+        _worker_heartbeats[os.getpid()] = (label, time.monotonic())
+    except Exception:  # Manager gone during shutdown, etc.
+        pass
 
 
 def _worker_trace(spec: TraceSpec) -> WorkloadTrace:
@@ -51,17 +107,57 @@ def _worker_trace(spec: TraceSpec) -> WorkloadTrace:
 
 def _warm_spec(spec: TraceSpec) -> None:
     """Materialize one spec into the shared disk cache."""
-    _worker_trace(spec)
+    label = f"trace {spec_key(spec)[:8]}"
+    _beat(label)
+    try:
+        _worker_trace(spec)
+    except Exception:
+        raise JobFailure(
+            f"trace generation failed for {label}:\n"
+            + traceback.format_exc()
+        ) from None
 
 
 def _run_job(job: "SimJob", config_overrides=None) -> SimulationStats:
-    trace = job.trace if job.trace is not None else _worker_trace(job.spec)
-    config = job.config
-    if config_overrides:
-        import dataclasses
+    label = describe_job(job)
+    _beat(label)
+    try:
+        trace = (
+            job.trace if job.trace is not None else _worker_trace(job.spec)
+        )
+        config = job.config
+        if config_overrides:
+            import dataclasses
 
-        config = dataclasses.replace(config, **config_overrides)
-    return Machine(config).run(trace)
+            config = dataclasses.replace(config, **config_overrides)
+        return Machine(config).run(trace)
+    except Exception:
+        raise JobFailure(
+            f"job {label} failed in worker {os.getpid()}:\n"
+            + traceback.format_exc()
+        ) from None
+
+
+def _drain(futures, progress: Optional["ProgressReporter"],
+           heartbeats) -> None:
+    """Wait for futures; fail fast, cancelling everything still queued."""
+    pending = set(futures)
+    while pending:
+        timeout = None if progress is None else progress.interval
+        done, pending = wait(
+            pending, timeout=timeout, return_when=FIRST_EXCEPTION
+        )
+        for future in done:
+            exc = future.exception()
+            if exc is not None:
+                for other in pending:
+                    other.cancel()
+                raise exc
+        if progress is not None:
+            progress.set_done(sum(1 for f in futures if f.done()))
+            if heartbeats is not None:
+                progress.observe_heartbeats(dict(heartbeats))
+            progress.maybe_render()
 
 
 def run_jobs_parallel(
@@ -69,15 +165,24 @@ def run_jobs_parallel(
     n_workers: int,
     trace_cache=None,
     config_overrides=None,
+    progress: Optional["ProgressReporter"] = None,
 ) -> List[SimulationStats]:
     """Run a job list over ``n_workers`` processes, results in job order."""
     jobs = list(jobs)
     n_workers = max(1, min(n_workers, len(jobs)))
-    with ProcessPoolExecutor(
+    manager = None
+    heartbeats = None
+    if progress is not None:
+        import multiprocessing
+
+        manager = multiprocessing.Manager()
+        heartbeats = manager.dict()
+    pool = ProcessPoolExecutor(
         max_workers=n_workers,
         initializer=_init_worker,
-        initargs=(trace_cache,),
-    ) as pool:
+        initargs=(trace_cache, heartbeats),
+    )
+    try:
         if trace_cache is not None:
             # Pre-warm the disk cache so each unique trace is generated
             # exactly once instead of once per worker that needs it.
@@ -85,6 +190,21 @@ def run_jobs_parallel(
             for job in jobs:
                 if job.spec is not None:
                     unique.setdefault(spec_key(job.spec), job.spec)
-            list(pool.map(_warm_spec, unique.values()))
-        run = functools.partial(_run_job, config_overrides=config_overrides)
-        return list(pool.map(run, jobs, chunksize=1))
+            warm = [
+                pool.submit(_warm_spec, spec) for spec in unique.values()
+            ]
+            _drain(warm, progress=None, heartbeats=None)
+        futures = [
+            pool.submit(_run_job, job, config_overrides) for job in jobs
+        ]
+        _drain(futures, progress, heartbeats)
+        return [future.result() for future in futures]
+    except KeyboardInterrupt:
+        # Don't wait for queued jobs on ^C — drop them and let the
+        # already-running workers be reaped.
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    finally:
+        pool.shutdown(wait=True)
+        if manager is not None:
+            manager.shutdown()

@@ -13,7 +13,7 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
 from ..minidb import EngineOptions
 from ..sim import ExecutionMode, Machine, MachineConfig, SimulationStats
@@ -59,42 +59,107 @@ class JobRunner:
     #: such as ``--check-invariants`` reach configs the drivers build
     #: themselves.
     config_overrides: Optional[Dict[str, object]] = None
+    #: Optional repro.obs.tracer.SpanTracer — spans for trace
+    #: materialization and each job, plus a per-job counter record of the
+    #: SimulationStats.  None (the default) runs the original code path.
+    tracer: Optional[object] = field(default=None, repr=False,
+                                     compare=False)
+    #: Render live progress/heartbeats to stderr (harness ``--progress``).
+    progress: bool = False
     _memo: Dict[str, WorkloadTrace] = field(
         default_factory=dict, repr=False
     )
+    #: spec_key of every trace this runner touched — the manifest's
+    #: ``trace_spec_keys`` provenance list.
+    _spec_keys: Set[str] = field(default_factory=set, repr=False)
 
     def trace_for(self, spec: TraceSpec) -> WorkloadTrace:
         key = spec_key(spec)
+        self._spec_keys.add(key)
         trace = self._memo.get(key)
         if trace is None:
-            trace = materialize(spec, self.trace_cache)
+            if self.tracer is not None:
+                with self.tracer.span(
+                    "harness.trace", key=key, kind=spec.kind,
+                    benchmark=spec.benchmark,
+                ):
+                    trace = materialize(spec, self.trace_cache)
+            else:
+                trace = materialize(spec, self.trace_cache)
             self._memo[key] = trace
         return trace
 
     def seed_trace(self, spec: TraceSpec, trace: WorkloadTrace) -> None:
         """Install an already-generated trace under its spec's key."""
-        self._memo.setdefault(spec_key(spec), trace)
+        key = spec_key(spec)
+        self._spec_keys.add(key)
+        self._memo.setdefault(key, trace)
+
+    def trace_spec_keys(self) -> List[str]:
+        """Content-hash keys of every trace used so far (sorted)."""
+        return sorted(self._spec_keys)
 
     def _effective_config(self, config: MachineConfig) -> MachineConfig:
         if not self.config_overrides:
             return config
         return dataclasses.replace(config, **self.config_overrides)
 
+    def _emit_job_telemetry(self, label: str,
+                            stats: SimulationStats) -> None:
+        self.tracer.counter("sim.stats", stats.counters(), job=label)
+        if stats.dependence_pairs:
+            self.tracer.event(
+                "sim.dependences", job=label,
+                pairs=[list(p) for p in stats.dependence_pairs],
+            )
+
     def run_one(self, job: SimJob) -> SimulationStats:
         trace = job.trace if job.trace is not None else self.trace_for(job.spec)
-        return Machine(self._effective_config(job.config)).run(trace)
+        config = self._effective_config(job.config)
+        if self.tracer is None:
+            return Machine(config).run(trace)
+        from .parallel import describe_job
+
+        label = describe_job(job)
+        with self.tracer.span("harness.job", job=label):
+            stats = Machine(config, tracer=self.tracer).run(trace)
+        self._emit_job_telemetry(label, stats)
+        return stats
 
     def run(self, sim_jobs: Iterable[SimJob]) -> List[SimulationStats]:
         """Run jobs, returning stats in job order regardless of ``jobs``."""
         sim_jobs = list(sim_jobs)
-        if self.jobs > 1 and len(sim_jobs) > 1:
-            from .parallel import run_jobs_parallel
+        reporter = None
+        if self.progress and sim_jobs:
+            from ..obs.progress import ProgressReporter
 
-            return run_jobs_parallel(
+            reporter = ProgressReporter(total=len(sim_jobs))
+        if self.jobs > 1 and len(sim_jobs) > 1:
+            from .parallel import describe_job, run_jobs_parallel
+
+            for job in sim_jobs:
+                if job.spec is not None:
+                    self._spec_keys.add(spec_key(job.spec))
+            results = run_jobs_parallel(
                 sim_jobs, self.jobs, self.trace_cache,
                 config_overrides=self.config_overrides,
+                progress=reporter,
             )
-        return [self.run_one(job) for job in sim_jobs]
+            if self.tracer is not None:
+                # Workers can't share the tracer; emit their per-job
+                # counters from the collected results instead.
+                for job, stats in zip(sim_jobs, results):
+                    self._emit_job_telemetry(describe_job(job), stats)
+        else:
+            results = []
+            for job in sim_jobs:
+                results.append(self.run_one(job))
+                if reporter is not None:
+                    reporter.job_done()
+                    reporter.maybe_render()
+        if reporter is not None:
+            reporter.finish()
+        return results
 
 
 @dataclass

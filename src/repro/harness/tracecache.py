@@ -21,13 +21,13 @@ import dataclasses
 import hashlib
 import json
 import os
-import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
 
 from ..kv import KVSpec, generate_kv_workload
 from ..minidb import EngineOptions
+from ..obs.atomicio import atomic_output_file
 from ..tpcc import TPCCScale, generate_workload
 from ..trace import DEFAULT_SCALE, WorkloadTrace, default_costs
 from ..trace.serialize import FORMAT_VERSION, load_workload, save_workload
@@ -39,6 +39,11 @@ from ..trace.serialize import FORMAT_VERSION, load_workload, save_workload
 GENERATOR_VERSION = 1
 
 ENV_CACHE_DIR = "REPRO_TRACE_CACHE"
+
+#: Process-wide disk-cache telemetry, emitted into traced run logs as
+#: the ``tracecache`` counter record.  Plain ints; per-worker in
+#: parallel runs (each process counts its own loads/generations).
+STATS = {"disk_hits": 0, "generated": 0}
 
 
 def default_cache_dir() -> Path:
@@ -145,26 +150,18 @@ def materialize(
     filesystem without atomic rename) is treated as a miss and rewritten.
     """
     if cache_dir is None:
+        STATS["generated"] += 1
         return generate_trace(spec)
     path = cache_path(spec, cache_dir)
     if path.exists():
         try:
-            return load_workload(path)
+            trace = load_workload(path)
+            STATS["disk_hits"] += 1
+            return trace
         except (ValueError, KeyError, TypeError, json.JSONDecodeError):
             pass
+    STATS["generated"] += 1
     trace = generate_trace(spec)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(
-        dir=path.parent, prefix=path.name, suffix=".tmp"
-    )
-    try:
-        os.close(fd)
+    with atomic_output_file(path) as tmp:
         save_workload(trace, tmp)
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
     return trace

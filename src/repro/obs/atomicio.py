@@ -1,0 +1,74 @@
+"""Atomic artifact writes shared by every file-producing subsystem.
+
+An interrupted harness run must never leave a truncated ``results/*.json``,
+bench artifact, or trace-cache entry behind — downstream tooling treats
+those files as ground truth.  Every writer funnels through
+:func:`atomic_output_file`: the content is written to a temp file in the
+destination directory and moved into place with ``os.replace``, which is
+atomic on POSIX filesystems (and the same pattern the trace cache has
+always used, now shared instead of re-implemented per writer).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+from typing import Any, Iterator, Union
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+@contextmanager
+def atomic_output_file(path: PathLike) -> Iterator[str]:
+    """Yield a temp path that replaces ``path`` atomically on success.
+
+    The temp file lives in the destination directory so ``os.replace``
+    never crosses filesystems.  On any exception the temp file is
+    removed and ``path`` is left untouched (pre-existing content
+    included).  Parent directories are created as needed.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path), suffix=".tmp"
+    )
+    os.close(fd)
+    try:
+        yield tmp
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: PathLike, text: str,
+                      encoding: str = "utf-8") -> None:
+    """Atomically write ``text`` to ``path``."""
+    with atomic_output_file(path) as tmp:
+        with open(tmp, "w", encoding=encoding) as fh:
+            fh.write(text)
+
+
+def atomic_write_json(
+    path: PathLike,
+    doc: Any,
+    indent: int = 1,
+    sort_keys: bool = True,
+    trailing_newline: bool = True,
+) -> None:
+    """Atomically write ``doc`` as JSON to ``path``.
+
+    ``trailing_newline=False`` reproduces the historical byte format of
+    ``results/*.json`` (plain ``json.dump``), which CI compares with
+    ``cmp`` across serial/parallel/interpreted runs.
+    """
+    text = json.dumps(doc, indent=indent, sort_keys=sort_keys)
+    if trailing_newline:
+        text += "\n"
+    atomic_write_text(path, text)

@@ -1,0 +1,65 @@
+"""Metrics registry: one named home for every end-of-run counter.
+
+Before this module, finishing a simulation meant hand-copying ~20
+counters from the engine, the L2, the L1s, and the pipelines into
+``SimulationStats`` — an ad-hoc list that every new counter had to be
+threaded through by hand (and that silently dropped anything forgotten).
+
+Now each subsystem *publishes* its counters into a
+:class:`MetricsRegistry` under a stable dotted name
+(``engine.primary_violations``, ``l2.hits``, ``compile.fastpath_loads``,
+…) and consumers pull a :meth:`~MetricsRegistry.snapshot`:
+
+* ``Machine._collect_stats`` fills ``SimulationStats`` from the snapshot
+  via the declarative ``SimulationStats.METRIC_SOURCES`` mapping;
+* the span tracer emits the same names as ``counter`` records, so the
+  run-log schema and the stats fields can never drift apart;
+* ``python -m repro.harness report`` aggregates them back into the
+  Figure-5 breakdown.
+
+Providers are zero-cost until sampled: registration stores a callable,
+and nothing is evaluated until ``snapshot()`` — which runs once per
+simulation, never in the hot loop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Tuple, Union
+
+Number = Union[int, float]
+Provider = Callable[[], Number]
+
+
+class MetricsRegistry:
+    """Named counter/gauge providers, sampled together via snapshot()."""
+
+    def __init__(self) -> None:
+        self._providers: Dict[str, Provider] = {}
+
+    def register(self, name: str, provider: Provider) -> None:
+        """Publish ``provider`` under ``name`` (unique per registry)."""
+        if name in self._providers:
+            raise ValueError(f"metric {name!r} already registered")
+        self._providers[name] = provider
+
+    def register_many(
+        self, providers: Iterable[Tuple[str, Provider]]
+    ) -> None:
+        for name, provider in providers:
+            self.register(name, provider)
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._providers))
+
+    def snapshot(self) -> Dict[str, Number]:
+        """Evaluate every provider; names in sorted order."""
+        return {
+            name: self._providers[name]()
+            for name in sorted(self._providers)
+        }
+
+    def __len__(self) -> int:
+        return len(self._providers)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._providers

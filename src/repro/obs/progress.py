@@ -1,0 +1,108 @@
+"""Live progress + heartbeat reporting for job pools.
+
+``ProgressReporter`` renders a one-line status for a running job list —
+jobs done/total, throughput, ETA — plus a per-worker heartbeat view so a
+hung worker is visible instead of silently stalling the whole sweep:
+each worker stamps ``(job label, monotonic time)`` into a shared mapping
+when it picks up a job, and the parent flags any worker whose last
+heartbeat is older than ``stall_after`` seconds.
+
+Progress is opt-in (harness ``--progress``; off by default so CI logs
+stay clean) and rendered to ``stderr`` at most once per ``interval``
+seconds.  All arithmetic uses monotonic clocks — an NTP step cannot
+produce a negative ETA or a phantom stall.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Dict, Optional, TextIO, Tuple
+
+#: A worker heartbeat: (current job label, monotonic timestamp).
+Heartbeat = Tuple[str, float]
+
+
+def format_eta(seconds: float) -> str:
+    seconds = max(0, int(seconds))
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    if seconds >= 60:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds}s"
+
+
+class ProgressReporter:
+    """Rate-limited progress/heartbeat rendering for a job list."""
+
+    def __init__(
+        self,
+        total: int,
+        label: str = "jobs",
+        stream: Optional[TextIO] = None,
+        interval: float = 1.0,
+        stall_after: float = 30.0,
+        clock=time.monotonic,
+    ):
+        self.total = total
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval = interval
+        self.stall_after = stall_after
+        self._clock = clock
+        self._start = clock()
+        self._last_print = -float("inf")
+        self.done = 0
+        self._heartbeats: Dict[int, Heartbeat] = {}
+
+    # -- updates -------------------------------------------------------
+
+    def set_done(self, done: int) -> None:
+        self.done = done
+
+    def job_done(self, n: int = 1) -> None:
+        self.done += n
+
+    def observe_heartbeats(self, heartbeats: Dict[int, Heartbeat]) -> None:
+        """Adopt the latest worker heartbeat mapping (worker id -> beat)."""
+        self._heartbeats = dict(heartbeats)
+
+    # -- rendering -----------------------------------------------------
+
+    def render(self) -> str:
+        now = self._clock()
+        elapsed = max(1e-9, now - self._start)
+        rate = self.done / elapsed
+        if 0 < self.done < self.total and rate > 0:
+            eta = f" eta {format_eta((self.total - self.done) / rate)}"
+        else:
+            eta = ""
+        line = (
+            f"[{self.label} {self.done}/{self.total}"
+            f" {rate:.2f}/s{eta}]"
+        )
+        beats = []
+        for worker in sorted(self._heartbeats):
+            job, stamp = self._heartbeats[worker]
+            age = max(0.0, now - stamp)
+            flag = " STALLED?" if age > self.stall_after else ""
+            beats.append(f"w{worker}: {job} ({age:.0f}s ago){flag}")
+        if beats:
+            line += " " + " | ".join(beats)
+        return line
+
+    def maybe_render(self, force: bool = False) -> None:
+        """Print the status line, at most once per ``interval`` seconds."""
+        now = self._clock()
+        if not force and now - self._last_print < self.interval:
+            return
+        self._last_print = now
+        print(self.render(), file=self.stream, flush=True)
+
+    def finish(self) -> None:
+        elapsed = self._clock() - self._start
+        print(
+            f"[{self.label} {self.done}/{self.total} done "
+            f"in {elapsed:.1f}s]",
+            file=self.stream, flush=True,
+        )

@@ -1,0 +1,217 @@
+"""Terminal summary of a JSONL run log.
+
+``python -m repro.harness report run.jsonl`` renders, from a traced run:
+
+* the manifest header (who/what/when produced the run);
+* the top wall-clock spans, grouped by name — where the harness spent
+  its time (trace generation vs compilation vs simulation);
+* a Figure-5-style cycle breakdown aggregated over every simulated job's
+  counter record — the same categories, summed the same way the paper
+  sums CPU-cycles;
+* the hottest profiled (load PC, store PC) dependence pairs by failed
+  cycles — the §3.1 profiler output that tells the programmer which
+  dependence to tune next;
+* protocol/cache counter totals.
+
+The report consumes only the run log; it does not re-run anything, so it
+reconstructs a finished (even crashed) run after the fact.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Figure 5 legend order (matches repro.harness.figure5.CATEGORY_ORDER).
+CATEGORY_ORDER = (
+    "idle", "failed", "sync", "cache_miss", "tls_overhead", "busy",
+)
+
+#: Counter totals worth surfacing in the summary table.
+TOTAL_COUNTERS = (
+    "engine.primary_violations",
+    "engine.secondary_violations",
+    "engine.secondary_rewinds_avoided",
+    "engine.subthreads_started",
+    "engine.epochs_committed",
+    "machine.deadlock_breaks",
+    "l1.hits",
+    "l1.misses",
+    "l2.hits",
+    "l2.misses",
+    "l2.victim_spills",
+    "l2.overflow_squashes",
+    "compile.batched_records",
+    "compile.fastpath_loads",
+    "compile.fastpath_stores",
+    "compile.private_line_stores",
+)
+
+
+def read_run_log(path) -> List[dict]:
+    """All records of a JSONL run log, in file order."""
+    records = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def _manifest_of(records: List[dict]) -> Optional[dict]:
+    for rec in records:
+        if rec.get("type") == "manifest":
+            manifest = rec.get("manifest")
+            if isinstance(manifest, dict):
+                return manifest
+    return None
+
+
+def _span_groups(records: List[dict]) -> Dict[str, Dict[str, float]]:
+    groups: Dict[str, Dict[str, float]] = {}
+    for rec in records:
+        if rec.get("type") != "span":
+            continue
+        g = groups.setdefault(
+            rec["name"], {"count": 0, "total": 0.0, "max": 0.0}
+        )
+        g["count"] += 1
+        g["total"] += rec["dur"]
+        g["max"] = max(g["max"], rec["dur"])
+    return groups
+
+
+def _sum_counters(records: List[dict]) -> Dict[str, float]:
+    totals: Dict[str, float] = {}
+    for rec in records:
+        if rec.get("type") != "counter":
+            continue
+        for key, value in rec.get("values", {}).items():
+            totals[key] = totals.get(key, 0.0) + value
+    return totals
+
+
+def _dependence_totals(
+    records: List[dict],
+) -> List[Tuple[Any, Any, float, int]]:
+    pairs: Dict[Tuple[Any, Any], List[float]] = {}
+    for rec in records:
+        if rec.get("type") != "event" or rec.get("name") != "sim.dependences":
+            continue
+        for entry in rec.get("attrs", {}).get("pairs", []):
+            load_pc, store_pc, failed, violations = entry[:4]
+            agg = pairs.setdefault((load_pc, store_pc), [0.0, 0])
+            agg[0] += failed
+            agg[1] += violations
+    ranked = [
+        (load_pc, store_pc, failed, violations)
+        for (load_pc, store_pc), (failed, violations) in pairs.items()
+    ]
+    ranked.sort(key=lambda entry: entry[2], reverse=True)
+    return ranked
+
+
+def _pc_text(pc: Any) -> str:
+    if pc is None:
+        return "?"
+    if isinstance(pc, int):
+        return hex(pc)
+    return str(pc)
+
+
+def render_report(path, top_spans: int = 12, top_pairs: int = 10) -> str:
+    """Render the full terminal summary for a run log."""
+    from ..harness.report import render_stacked_bars, render_table
+
+    records = read_run_log(path)
+    sections: List[str] = []
+
+    manifest = _manifest_of(records)
+    header = [f"run log: {path} ({len(records)} records)"]
+    if manifest is not None:
+        sha = manifest.get("git_sha")
+        header.append(
+            "manifest: config "
+            f"{manifest.get('config_hash')}  seed {manifest.get('seed')}"
+            f"  git {sha[:12] if sha else '?'}"
+            f"  python {manifest.get('python_version')}"
+            f"  cpus {manifest.get('cpu_count')}"
+        )
+        wall = manifest.get("wall_seconds")
+        traces = manifest.get("trace_spec_keys") or []
+        header.append(
+            f"wall time: {wall if wall is not None else '?'}s"
+            f"  traces: {len(traces)}"
+        )
+    else:
+        header.append("manifest: MISSING (log did not start cleanly?)")
+    sections.append("\n".join(header))
+
+    groups = _span_groups(records)
+    if groups:
+        ranked = sorted(
+            groups.items(), key=lambda kv: kv[1]["total"], reverse=True
+        )[:top_spans]
+        sections.append(render_table(
+            ["span", "count", "total s", "mean s", "max s"],
+            [
+                [
+                    name,
+                    int(g["count"]),
+                    g["total"],
+                    g["total"] / g["count"],
+                    g["max"],
+                ]
+                for name, g in ranked
+            ],
+            title="Top spans (wall clock)",
+            float_fmt="{:.4f}",
+        ))
+    else:
+        sections.append("(no spans recorded)")
+
+    totals = _sum_counters(records)
+    cpu_cycles = sum(
+        totals.get(f"cycles.{cat}", 0.0) for cat in CATEGORY_ORDER
+    )
+    if cpu_cycles > 0:
+        fractions = {
+            cat: totals.get(f"cycles.{cat}", 0.0) / cpu_cycles
+            for cat in CATEGORY_ORDER
+        }
+        sections.append(render_stacked_bars(
+            ["all jobs"], [fractions], CATEGORY_ORDER,
+            title="Cycle breakdown (Figure 5 categories, all jobs)",
+        ))
+        sections.append(render_table(
+            ["category", "cpu-cycles", "fraction"],
+            [
+                [cat, totals.get(f"cycles.{cat}", 0.0), fractions[cat]]
+                for cat in CATEGORY_ORDER
+            ],
+        ))
+
+    ranked_pairs = _dependence_totals(records)[:top_pairs]
+    if ranked_pairs:
+        sections.append(render_table(
+            ["load PC", "store PC", "failed cycles", "violations"],
+            [
+                [_pc_text(load), _pc_text(store), failed, int(violations)]
+                for load, store, failed, violations in ranked_pairs
+            ],
+            title="Hottest dependences (load PC -> store PC)",
+        ))
+
+    counter_rows = [
+        [name, int(totals[name])]
+        for name in TOTAL_COUNTERS
+        if name in totals
+    ]
+    if counter_rows:
+        sections.append(render_table(
+            ["counter", "total"], counter_rows,
+            title="Counter totals",
+        ))
+
+    return "\n\n".join(sections)

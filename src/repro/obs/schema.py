@@ -1,0 +1,193 @@
+"""Run-log schema lint (``repro.verify.lint`` style, for JSONL traces).
+
+A run log that violates the tracer's discipline would silently corrupt
+every downstream consumer (``report``, trajectory tooling, dashboards).
+This lint checks the whole file *structurally*, the same way the trace
+linter checks workload traces before simulation:
+
+1. **Line well-formedness** — every line parses as a JSON object with a
+   known ``type`` (manifest / span / counter / event) and a ``seq``
+   field that increases strictly from 0 (truncation and interleaved
+   writers are both detectable).
+2. **Manifest first** — the first record is a manifest carrying the
+   required provenance keys (format, config hash, versions, CPU count).
+3. **Span sanity** — ``0 <= t0 <= t1``, ``dur == t1 - t0`` (to rounding),
+   string name, dict attrs.  Monotonic timestamps make negative spans a
+   hard error, not a "clock skew" shrug.
+4. **Counter/event sanity** — counters carry a dict of finite numeric
+   values; events carry dict attrs.
+
+Use :func:`lint_run_log` for the issue list, or
+:func:`assert_valid_run_log` to raise :class:`RunLogError` (CI style).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, List
+
+from .manifest import MANIFEST_FORMAT
+from .tracer import RECORD_TYPES
+
+#: Keys every manifest record must carry.
+REQUIRED_MANIFEST_KEYS = (
+    "format",
+    "version",
+    "config_hash",
+    "package_version",
+    "python_version",
+    "cpu_count",
+)
+
+#: Absolute slack allowed between ``dur`` and ``t1 - t0`` (rounding).
+DUR_TOLERANCE = 2e-6
+
+
+class RunLogError(AssertionError):
+    """A run log violates the tracer's JSONL schema."""
+
+
+def _is_number(value: Any) -> bool:
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(value)
+    )
+
+
+def _lint_span(line_no: int, rec: dict, issues: List[str]) -> None:
+    if not isinstance(rec.get("name"), str) or not rec.get("name"):
+        issues.append(f"line {line_no}: span without a string name")
+    for key in ("t0", "t1", "dur"):
+        if not _is_number(rec.get(key)):
+            issues.append(
+                f"line {line_no}: span {rec.get('name')!r} has "
+                f"non-numeric {key}"
+            )
+            return
+    t0, t1, dur = rec["t0"], rec["t1"], rec["dur"]
+    if t0 < 0:
+        issues.append(
+            f"line {line_no}: span {rec['name']!r} starts before the "
+            f"tracer epoch (t0={t0})"
+        )
+    if t1 < t0:
+        issues.append(
+            f"line {line_no}: span {rec['name']!r} ends before it "
+            f"starts (t0={t0}, t1={t1})"
+        )
+    if abs(dur - (t1 - t0)) > DUR_TOLERANCE:
+        issues.append(
+            f"line {line_no}: span {rec['name']!r} dur={dur} does not "
+            f"match t1-t0={t1 - t0}"
+        )
+    parent = rec.get("parent")
+    if parent is not None and not isinstance(parent, str):
+        issues.append(
+            f"line {line_no}: span {rec['name']!r} parent must be a "
+            "string or null"
+        )
+    if not isinstance(rec.get("attrs", {}), dict):
+        issues.append(
+            f"line {line_no}: span {rec['name']!r} attrs must be a dict"
+        )
+
+
+def _lint_counter(line_no: int, rec: dict, issues: List[str]) -> None:
+    if not isinstance(rec.get("name"), str) or not rec.get("name"):
+        issues.append(f"line {line_no}: counter without a string name")
+    values = rec.get("values")
+    if not isinstance(values, dict):
+        issues.append(
+            f"line {line_no}: counter {rec.get('name')!r} needs a dict "
+            "of values"
+        )
+        return
+    for key, value in values.items():
+        if not _is_number(value):
+            issues.append(
+                f"line {line_no}: counter {rec.get('name')!r} value "
+                f"{key!r} is not a finite number: {value!r}"
+            )
+
+
+def _lint_event(line_no: int, rec: dict, issues: List[str]) -> None:
+    if not isinstance(rec.get("name"), str) or not rec.get("name"):
+        issues.append(f"line {line_no}: event without a string name")
+    if not isinstance(rec.get("attrs", {}), dict):
+        issues.append(
+            f"line {line_no}: event {rec.get('name')!r} attrs must be "
+            "a dict"
+        )
+
+
+def lint_run_log(path) -> List[str]:
+    """Lint a JSONL run log; returns the (possibly empty) issue list."""
+    issues: List[str] = []
+    records: List[dict] = []
+    with open(path, encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                issues.append(f"line {line_no}: blank line")
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                issues.append(f"line {line_no}: invalid JSON: {exc}")
+                continue
+            if not isinstance(rec, dict):
+                issues.append(f"line {line_no}: record is not an object")
+                continue
+            records.append(rec)
+            rtype = rec.get("type")
+            if rtype not in RECORD_TYPES:
+                issues.append(
+                    f"line {line_no}: unknown record type {rtype!r}"
+                )
+                continue
+            seq = rec.get("seq")
+            if not isinstance(seq, int) or seq != len(records) - 1:
+                issues.append(
+                    f"line {line_no}: seq {seq!r} is not the expected "
+                    f"{len(records) - 1} (truncated or reordered log?)"
+                )
+            if rtype == "span":
+                _lint_span(line_no, rec, issues)
+            elif rtype == "counter":
+                _lint_counter(line_no, rec, issues)
+            elif rtype == "event":
+                _lint_event(line_no, rec, issues)
+    if not records:
+        issues.append("run log is empty")
+        return issues
+    first = records[0]
+    if first.get("type") != "manifest":
+        issues.append("first record must be the run manifest")
+    else:
+        manifest = first.get("manifest")
+        if not isinstance(manifest, dict):
+            issues.append("manifest record carries no manifest object")
+        else:
+            if manifest.get("format") != MANIFEST_FORMAT:
+                issues.append(
+                    f"manifest format is {manifest.get('format')!r}, "
+                    f"expected {MANIFEST_FORMAT!r}"
+                )
+            for key in REQUIRED_MANIFEST_KEYS:
+                if key not in manifest:
+                    issues.append(f"manifest is missing key {key!r}")
+    return issues
+
+
+def assert_valid_run_log(path, max_shown: int = 20) -> None:
+    """Lint and raise :class:`RunLogError` listing the first issues."""
+    issues = lint_run_log(path)
+    if issues:
+        shown = issues[:max_shown]
+        text = f"{len(issues)} run-log schema issue(s):\n  " + \
+            "\n  ".join(shown)
+        if len(issues) > len(shown):
+            text += f"\n  ... and {len(issues) - len(shown)} more"
+        raise RunLogError(text)

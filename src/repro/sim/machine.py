@@ -106,7 +106,8 @@ class Machine:
     """A simulated CMP executing one workload trace."""
 
     def __init__(self, config: Optional[MachineConfig] = None,
-                 record_events: bool = False, observer=None):
+                 record_events: bool = False, observer=None,
+                 tracer=None):
         self.config = config or MachineConfig()
         #: Timeline events (see repro.sim.timeline); empty unless
         #: record_events is True — recording costs time and memory.
@@ -115,6 +116,11 @@ class Machine:
         #: Optional commit-log observer (repro.verify.observer): receives
         #: on_epoch_start / on_op / on_rewind / on_commit callbacks.
         self.observer = observer
+        #: Optional repro.obs.tracer.SpanTracer.  Only segment/compile
+        #: granularity is traced — never the per-record hot loop — and
+        #: every producer site is guarded by ``tracer is not None``, so
+        #: an untraced run executes the original code path.
+        self.tracer = tracer
         self._invariants = None
         if self.config.check_invariants:
             # Imported lazily: repro.verify imports repro.sim.
@@ -209,15 +215,26 @@ class Machine:
 
     def run(self, workload: WorkloadTrace) -> SimulationStats:
         """Replay the workload; returns the aggregated statistics."""
+        tracer = self.tracer
         for txn in workload.transactions:
             for segment in txn.segments:
                 if isinstance(segment, SerialSegment):
-                    pseudo = EpochTrace(epoch_id=-1, records=segment.records)
-                    self._run_region([pseudo], cache_host=segment)
+                    kind = "serial"
+                    epochs = [
+                        EpochTrace(epoch_id=-1, records=segment.records)
+                    ]
                 elif isinstance(segment, ParallelRegion):
-                    self._run_region(segment.epochs, cache_host=segment)
+                    kind = "parallel"
+                    epochs = segment.epochs
                 else:
                     raise TypeError(f"unknown segment {segment!r}")
+                if tracer is not None:
+                    with tracer.span(
+                        "machine.segment", kind=kind, epochs=len(epochs)
+                    ):
+                        self._run_region(epochs, cache_host=segment)
+                else:
+                    self._run_region(epochs, cache_host=segment)
         if self._invariants is not None:
             self._invariants.on_finish(self)
         return self._collect_stats()
@@ -246,10 +263,19 @@ class Machine:
                 if cached is not None and cached[0] == self._compile_key:
                     per_epoch = cached[1]
             if per_epoch is None:
-                per_epoch = compile_region(
-                    epoch_traces, self.l2, self.config.pipeline,
-                    batches=not self._overlap_loads,
-                ).epochs
+                if self.tracer is not None:
+                    with self.tracer.span(
+                        "machine.compile", epochs=len(epoch_traces)
+                    ):
+                        per_epoch = compile_region(
+                            epoch_traces, self.l2, self.config.pipeline,
+                            batches=not self._overlap_loads,
+                        ).epochs
+                else:
+                    per_epoch = compile_region(
+                        epoch_traces, self.l2, self.config.pipeline,
+                        batches=not self._overlap_loads,
+                    ).epochs
                 if cache_host is not None:
                     cache_host._compile_cache = (self._compile_key, per_epoch)
             self._region_compiled = {
@@ -1192,38 +1218,61 @@ class Machine:
     # Statistics
     # ------------------------------------------------------------------
 
+    def metrics(self):
+        """Publish every subsystem counter into a fresh registry.
+
+        The dotted names match ``SimulationStats.METRIC_SOURCES``, so
+        ``stats.apply_metrics(machine.metrics().snapshot())`` fills the
+        stats object, and the span tracer can emit the same names as a
+        ``counter`` record without a second naming scheme.  Providers
+        are lambdas over live subsystem state — registration is free and
+        nothing is evaluated until ``snapshot()``.
+        """
+        from ..obs.metrics import MetricsRegistry
+
+        engine, l2, cpus = self.engine, self.l2, self.cpus
+        registry = MetricsRegistry()
+        registry.register_many([
+            ("engine.primary_violations",
+             lambda: engine.primary_violations),
+            ("engine.secondary_violations",
+             lambda: engine.secondary_violations),
+            ("engine.secondary_rewinds_avoided",
+             lambda: engine.secondary_rewinds_avoided),
+            ("engine.subthreads_started",
+             lambda: engine.subthreads_started),
+            ("engine.epochs_committed", lambda: engine.epochs_committed),
+            ("engine.epochs_total", lambda: self._epochs_total),
+            ("engine.load_predictor_entries",
+             lambda: len(engine.load_predictor)),
+            ("machine.deadlock_breaks", lambda: self._deadlock_breaks),
+            ("machine.branch_mispredictions",
+             lambda: sum(
+                 c.pipeline.predictor.mispredictions for c in cpus
+             )),
+            ("machine.instructions_retired",
+             lambda: sum(c.pipeline.instructions_retired for c in cpus)),
+            ("l1.hits", lambda: sum(c.l1.hits for c in cpus)),
+            ("l1.misses", lambda: sum(c.l1.misses for c in cpus)),
+            ("l1.spec_invalidations",
+             lambda: sum(c.l1.spec_invalidations for c in cpus)),
+            ("l2.hits", lambda: l2.hits),
+            ("l2.misses", lambda: l2.misses),
+            ("l2.victim_spills", lambda: l2.victim_spills),
+            ("l2.overflow_squashes", lambda: l2.overflow_squashes),
+            ("compile.batched_records", lambda: self._batched_records),
+            ("compile.fastpath_loads", lambda: self._fast_loads),
+            ("compile.fastpath_stores", lambda: self._fast_stores),
+            ("compile.private_line_stores",
+             lambda: self._private_stores),
+        ])
+        return registry
+
     def _collect_stats(self) -> SimulationStats:
         stats = SimulationStats(n_cpus=self.config.n_cpus)
         stats.total_cycles = self.now
         stats.per_cpu = [cpu.totals for cpu in self.cpus]
-        stats.primary_violations = self.engine.primary_violations
-        stats.secondary_violations = self.engine.secondary_violations
-        stats.secondary_rewinds_avoided = (
-            self.engine.secondary_rewinds_avoided
-        )
-        stats.subthreads_started = self.engine.subthreads_started
-        stats.epochs_committed = self.engine.epochs_committed
-        stats.l2_hits = self.l2.hits
-        stats.l2_misses = self.l2.misses
-        stats.l1_hits = sum(c.l1.hits for c in self.cpus)
-        stats.l1_misses = sum(c.l1.misses for c in self.cpus)
-        stats.l1_spec_invalidations = sum(
-            c.l1.spec_invalidations for c in self.cpus
-        )
-        stats.load_predictor_entries = len(self.engine.load_predictor)
-        stats.victim_spills = self.l2.victim_spills
-        stats.overflow_squashes = self.l2.overflow_squashes
-        stats.branch_mispredictions = sum(
-            c.pipeline.predictor.mispredictions for c in self.cpus
-        )
-        stats.instructions_retired = sum(
-            c.pipeline.instructions_retired for c in self.cpus
-        )
-        stats.epochs_total = self._epochs_total
-        stats.deadlock_breaks = self._deadlock_breaks
-        stats.compiled_batched_records = self._batched_records
-        stats.compiled_fastpath_loads = self._fast_loads
-        stats.compiled_fastpath_stores = self._fast_stores
-        stats.private_line_stores = self._private_stores
+        stats.apply_metrics(self.metrics().snapshot())
+        stats.dependence_pairs = self.engine.profiler.pairs()
         stats.finalize_idle()
         return stats

@@ -10,9 +10,40 @@ stall) / TLS overhead / Failed / Idle, summed over the CPUs so that a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from ..core.accounting import Category, CycleCounters
+
+#: Declarative registry-name -> stats-field mapping.  ``Machine``
+#: publishes every subsystem counter into a ``MetricsRegistry`` under
+#: the dotted name on the left; ``apply_metrics`` fills the dataclass
+#: field on the right from one snapshot.  Adding a counter means adding
+#: one row here (plus its provider) — no more hand-copying in
+#: ``_collect_stats``.
+METRIC_SOURCES: Dict[str, str] = {
+    "engine.primary_violations": "primary_violations",
+    "engine.secondary_violations": "secondary_violations",
+    "engine.secondary_rewinds_avoided": "secondary_rewinds_avoided",
+    "engine.subthreads_started": "subthreads_started",
+    "engine.epochs_committed": "epochs_committed",
+    "engine.epochs_total": "epochs_total",
+    "engine.failed_instruction_replays": "failed_instruction_replays",
+    "engine.load_predictor_entries": "load_predictor_entries",
+    "machine.deadlock_breaks": "deadlock_breaks",
+    "machine.branch_mispredictions": "branch_mispredictions",
+    "machine.instructions_retired": "instructions_retired",
+    "l1.hits": "l1_hits",
+    "l1.misses": "l1_misses",
+    "l1.spec_invalidations": "l1_spec_invalidations",
+    "l2.hits": "l2_hits",
+    "l2.misses": "l2_misses",
+    "l2.victim_spills": "victim_spills",
+    "l2.overflow_squashes": "overflow_squashes",
+    "compile.batched_records": "compiled_batched_records",
+    "compile.fastpath_loads": "compiled_fastpath_loads",
+    "compile.fastpath_stores": "compiled_fastpath_stores",
+    "compile.private_line_stores": "private_line_stores",
+}
 
 
 @dataclass
@@ -54,6 +85,36 @@ class SimulationStats:
     compiled_fastpath_stores: int = field(default=0, compare=False)
     #: Fast-path stores to region-private lines (violation scan skipped).
     private_line_stores: int = field(default=0, compare=False)
+    #: Hottest profiled (load PC, store PC, failed cycles, violations)
+    #: tuples, worst first.  Run telemetry for the observability report;
+    #: compare=False so architectural-equality checks stay unaffected.
+    dependence_pairs: List[Tuple] = field(
+        default_factory=list, compare=False
+    )
+
+    METRIC_SOURCES = METRIC_SOURCES
+
+    def apply_metrics(self, snapshot: Dict[str, float]) -> None:
+        """Fill counter fields from a ``MetricsRegistry`` snapshot."""
+        for metric, attr in METRIC_SOURCES.items():
+            if metric in snapshot:
+                setattr(self, attr, snapshot[metric])
+
+    def counters(self) -> Dict[str, float]:
+        """Every counter under its registry name, plus the Figure-5
+        cycle breakdown (``cycles.<category>``) and run shape — the
+        payload the span tracer emits as one ``counter`` record per
+        job."""
+        values: Dict[str, float] = {
+            metric: getattr(self, attr)
+            for metric, attr in METRIC_SOURCES.items()
+        }
+        values["machine.n_cpus"] = self.n_cpus
+        values["machine.total_cycles"] = self.total_cycles
+        summed = self.breakdown()
+        for category in Category.ALL:
+            values[f"cycles.{category}"] = summed.get(category)
+        return values
 
     def finalize_idle(self) -> None:
         """Attribute every unaccounted CPU-cycle to Idle."""

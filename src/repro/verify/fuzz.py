@@ -383,6 +383,9 @@ def write_repro(
     seed: Optional[int],
     error: str,
 ) -> None:
+    from ..obs.atomicio import atomic_write_json
+    from ..obs.manifest import build_manifest
+
     doc = {
         "format": REPRO_FORMAT,
         "version": 1,
@@ -391,10 +394,14 @@ def write_repro(
         "error": error,
         "config": config_to_dict(config),
         "workload": workload_to_dict(workload),
+        # Provenance: which code/version produced this repro case.
+        "manifest": build_manifest(
+            command=["python", "-m", "repro.verify.fuzz"],
+            config={"mode": mode},
+            seed=seed,
+        ),
     }
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "w") as fh:
-        json.dump(doc, fh, indent=1)
+    atomic_write_json(path, doc, sort_keys=False, trailing_newline=False)
 
 
 def run_repro(path: Path) -> Optional[str]:

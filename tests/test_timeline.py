@@ -1,5 +1,7 @@
 """Tests for execution-event recording and timeline rendering."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.harness.figure4 import figure4_workload
@@ -133,3 +135,77 @@ class TestRendering:
         label_width = len("epoch 0")
         for line in text.splitlines()[:-2]:
             assert len(line) <= label_width + 1 + width
+
+
+GOLDEN = Path(__file__).parent / "golden" / "timeline_small.txt"
+
+
+def golden_workload() -> WorkloadTrace:
+    """Figure-4-style violation plus a contended latch, so the golden
+    render pins every glyph class: run, violation, latch stall, finish,
+    commit, wait."""
+    violation_region = ParallelRegion(epochs=[
+        EpochTrace(0, [
+            (Rec.COMPUTE, 600),
+            (Rec.STORE, 0x1000, 4, 0x400100),
+            (Rec.COMPUTE, 50),
+        ]),
+        EpochTrace(1, [
+            (Rec.COMPUTE, 200),
+            (Rec.LOAD, 0x1000, 4, 0x400200),
+            (Rec.COMPUTE, 400),
+        ]),
+    ])
+    latch_region = ParallelRegion(epochs=[
+        EpochTrace(0, [
+            (Rec.LATCH_ACQ, 7, 1),
+            (Rec.COMPUTE, 800),
+            (Rec.LATCH_REL, 7),
+        ]),
+        EpochTrace(1, [
+            (Rec.COMPUTE, 10),
+            (Rec.LATCH_ACQ, 7, 1),
+            (Rec.LATCH_REL, 7),
+        ]),
+    ])
+    txn = TransactionTrace(
+        name="golden", segments=[violation_region, latch_region]
+    )
+    return WorkloadTrace(name="golden", transactions=[txn])
+
+
+class TestGoldenRender:
+    """Pin the rendered timeline of a small recorded run.
+
+    The simulator is deterministic, so the exact ASCII render is stable;
+    any drift in event recording or glyph placement shows up as a diff.
+    After an intentional change, refresh with::
+
+        PYTHONPATH=src python -m pytest tests/test_timeline.py \\
+            --update-golden
+    """
+
+    @pytest.fixture(scope="class")
+    def rendered(self):
+        machine, stats = run_recorded(golden_workload())
+        assert stats.primary_violations >= 1
+        return render_timeline(machine.events, width=64)
+
+    def test_golden_render_pinned(self, rendered, request):
+        if request.config.getoption("--update-golden"):
+            GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+            GOLDEN.write_text(rendered + "\n")
+        assert GOLDEN.exists(), (
+            "no golden file; generate one with --update-golden"
+        )
+        assert rendered + "\n" == GOLDEN.read_text(), (
+            "timeline render drifted from tests/golden/"
+            "timeline_small.txt; if the change is intentional, re-run "
+            "with --update-golden"
+        )
+
+    def test_golden_run_shows_violation_and_stall_glyphs(self, rendered):
+        rows = "\n".join(rendered.splitlines()[:-2])  # drop axis+legend
+        assert "x" in rows  # the rewound violation
+        assert "~" in rows  # the latch stall
+        assert "C" in rows
