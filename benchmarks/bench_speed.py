@@ -8,6 +8,15 @@ performance trajectory is tracked across PRs:
    (default: all CPUs), which must produce bit-identical results.
 3. **Inner-loop throughput** — trace records simulated per second by a
    single ``Machine.run`` on a pre-generated TLS workload.
+4. **Speculative scenario** — the same workload under the Figure-5
+   TLS sub-thread (baseline) mode, timed three ways: journaled
+   speculative batches on (the default), batching restricted to
+   non-speculative epochs (``speculative_batches=False``), and fully
+   interpreted (``compile_traces=False``).  The three variants are
+   interleaved per repetition so thermal/frequency drift cannot skew
+   the ratios.  All three throughputs land in the trajectory entry;
+   ``--spec-min-vs-interpreted`` turns the compiled-vs-interpreted
+   ratio into a CI gate.
 
 Unlike the pytest-benchmark files next to it this is a plain script
 (it writes an artifact, not a benchmark table):
@@ -22,6 +31,7 @@ not workload generation.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 import pathlib
@@ -39,7 +49,7 @@ from repro.obs import atomic_write_json, build_manifest, finish_manifest  # noqa
 from repro.harness.figure5 import run_figure5  # noqa: E402
 from repro.harness.figure6 import run_figure6  # noqa: E402
 from repro.harness.tracecache import TraceSpec, materialize  # noqa: E402
-from repro.sim import Machine, MachineConfig  # noqa: E402
+from repro.sim import ExecutionMode, Machine, MachineConfig  # noqa: E402
 from repro.tpcc import TPCCScale  # noqa: E402
 from repro.trace.events import (  # noqa: E402
     ParallelRegion,
@@ -85,14 +95,7 @@ def time_harness(args, jobs: int):
 
 def time_inner_loop(args, compile_traces: bool = True):
     """Records/second of one Machine.run on a TLS workload."""
-    spec = TraceSpec(
-        benchmark="new_order",
-        tls_mode=True,
-        n_transactions=args.transactions,
-        seed=args.seed,
-        scale=TPCCScale.tiny() if args.tiny else None,
-    )
-    trace = materialize(spec, cache_dir=None)
+    trace = materialize(_bench_spec(args), cache_dir=None)
     records = count_records(trace)
     config = MachineConfig(compile_traces=compile_traces)
     best = float("inf")
@@ -101,6 +104,44 @@ def time_inner_loop(args, compile_traces: bool = True):
         t0 = time.perf_counter()
         machine.run(trace)
         best = min(best, time.perf_counter() - t0)
+    return records, best
+
+
+def _bench_spec(args) -> TraceSpec:
+    return TraceSpec(
+        benchmark="new_order",
+        tls_mode=True,
+        n_transactions=args.transactions,
+        seed=args.seed,
+        scale=TPCCScale.tiny() if args.tiny else None,
+    )
+
+
+def time_speculative_scenario(args):
+    """Figure-5 TLS sub-thread (baseline) mode, three ways.
+
+    Returns ``(records, {"spec_on": s, "spec_off": s, "interpreted": s})``
+    with best-of-``--repeat`` seconds per variant.  One Machine per
+    timing (compile caches are process-wide, so compilation cost is
+    amortized exactly as in the harness); the variants run interleaved
+    inside each repetition so slow drift of the host clock speed hits
+    all three equally.
+    """
+    trace = materialize(_bench_spec(args), cache_dir=None)
+    records = count_records(trace)
+    base = MachineConfig.for_mode(ExecutionMode.BASELINE)
+    variants = {
+        "spec_on": base,
+        "spec_off": dataclasses.replace(base, speculative_batches=False),
+        "interpreted": dataclasses.replace(base, compile_traces=False),
+    }
+    best = {name: float("inf") for name in variants}
+    for _ in range(max(1, args.repeat)):
+        for name, config in variants.items():
+            machine = Machine(config)
+            t0 = time.perf_counter()
+            machine.run(trace)
+            best[name] = min(best[name], time.perf_counter() - t0)
     return records, best
 
 
@@ -116,44 +157,49 @@ def runner_class() -> str:
     )
 
 
-def append_trajectory(path: pathlib.Path, entry: dict,
-                      min_ratio: float) -> int:
-    """Append ``entry`` to the append-only trajectory file.
+def append_trajectory(path: pathlib.Path, entries, min_ratio: float) -> int:
+    """Append ``entries`` to the append-only trajectory file.
 
-    Returns 1 (failure) when the new inner-loop throughput fell below
-    ``min_ratio`` times the previous entry recorded on the same runner
-    class and scale, else 0.  The file is never rewritten — entries only
-    accumulate, preserving the full performance history.
+    The regression gate is per scenario: each new entry is compared
+    against the most recent previous entry with the same runner class,
+    scale, and ``scenario`` ("inner_loop" when absent — the field
+    predates the speculative scenario).  Returns 1 when any scenario's
+    records/second fell below ``min_ratio`` times its previous entry,
+    else 0.  The file is never rewritten — entries only accumulate,
+    preserving the full performance history.
     """
     history = []
     if path.exists():
         with open(path) as fh:
             history = json.load(fh)
-    previous = None
-    for old in reversed(history):
-        if (
-            old.get("runner") == entry["runner"]
-            and old.get("scale") == entry["scale"]
-        ):
-            previous = old
-            break
     status = 0
-    if previous:
-        prev_rps = previous.get("records_per_second") or 0.0
-        ratio = (
-            entry["records_per_second"] / prev_rps if prev_rps else None
-        )
-        if ratio is not None:
-            entry["ratio_to_previous"] = round(ratio, 3)
-            if ratio < min_ratio:
-                print(
-                    f"ERROR: inner-loop throughput regressed to "
-                    f"{ratio:.2f}x of the previous entry on "
-                    f"{entry['runner']} (threshold {min_ratio}x)",
-                    file=sys.stderr,
-                )
-                status = 1
-    history.append(entry)
+    for entry in entries:
+        scenario = entry.get("scenario", "inner_loop")
+        previous = None
+        for old in reversed(history):
+            if (
+                old.get("runner") == entry["runner"]
+                and old.get("scale") == entry["scale"]
+                and old.get("scenario", "inner_loop") == scenario
+            ):
+                previous = old
+                break
+        if previous:
+            prev_rps = previous.get("records_per_second") or 0.0
+            ratio = (
+                entry["records_per_second"] / prev_rps if prev_rps else None
+            )
+            if ratio is not None:
+                entry["ratio_to_previous"] = round(ratio, 3)
+                if ratio < min_ratio:
+                    print(
+                        f"ERROR: {scenario} throughput regressed to "
+                        f"{ratio:.2f}x of the previous entry on "
+                        f"{entry['runner']} (threshold {min_ratio}x)",
+                        file=sys.stderr,
+                    )
+                    status = 1
+        history.append(entry)
     atomic_write_json(path, history)
     print(f"appended to {path} ({len(history)} entries)")
     return status
@@ -188,7 +234,15 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--min-ratio", type=float, default=0.7,
         help=("trajectory regression threshold relative to the previous "
-              "same-runner entry (default 0.7)"),
+              "same-runner same-scenario entry (default 0.7)"),
+    )
+    parser.add_argument(
+        "--spec-min-vs-interpreted", type=float, default=None,
+        metavar="RATIO",
+        help=("fail unless the speculative scenario's batching-on "
+              "throughput is at least RATIO times its interpreted "
+              "throughput measured in the same run (CI gate; off by "
+              "default)"),
     )
     args = parser.parse_args(argv)
 
@@ -266,6 +320,50 @@ def main(argv=None) -> int:
         inner_loop["interpreted_seconds"] = round(interp_s, 3)
         inner_loop["interpreted_records_per_second"] = round(interp_rps, 1)
 
+    print("timing speculative scenario (TLS sub-thread mode, "
+          "batches on / off / interpreted) ...")
+    spec_records, spec_times = time_speculative_scenario(args)
+    spec_rps = {
+        name: spec_records / s if s > 0 else 0.0
+        for name, s in spec_times.items()
+    }
+    ratio_vs_off = (
+        spec_rps["spec_on"] / spec_rps["spec_off"]
+        if spec_rps["spec_off"] else None
+    )
+    ratio_vs_interp = (
+        spec_rps["spec_on"] / spec_rps["interpreted"]
+        if spec_rps["interpreted"] else None
+    )
+    for name in ("spec_on", "spec_off", "interpreted"):
+        print(f"  {name:<12} {spec_records} records in "
+              f"{spec_times[name]:.2f}s ({spec_rps[name]:,.0f} records/s)")
+    print(f"  on/off {ratio_vs_off:.2f}x   on/interpreted "
+          f"{ratio_vs_interp:.2f}x")
+    speculative = {
+        "mode": ExecutionMode.BASELINE,
+        "records": spec_records,
+        "records_per_second": round(spec_rps["spec_on"], 1),
+        "spec_off_records_per_second": round(spec_rps["spec_off"], 1),
+        "interpreted_records_per_second": round(
+            spec_rps["interpreted"], 1
+        ),
+        "ratio_vs_spec_off": round(ratio_vs_off, 3)
+        if ratio_vs_off else None,
+        "ratio_vs_interpreted": round(ratio_vs_interp, 3)
+        if ratio_vs_interp else None,
+    }
+    spec_gate_ok = True
+    if args.spec_min_vs_interpreted is not None:
+        if (ratio_vs_interp or 0.0) < args.spec_min_vs_interpreted:
+            print(
+                f"ERROR: speculative scenario is only "
+                f"{ratio_vs_interp:.2f}x the interpreted baseline "
+                f"(threshold {args.spec_min_vs_interpreted}x)",
+                file=sys.stderr,
+            )
+            spec_gate_ok = False
+
     perf = {
         "config": {
             "transactions": args.transactions,
@@ -277,6 +375,7 @@ def main(argv=None) -> int:
         },
         "harness": harness,
         "inner_loop": inner_loop,
+        "speculative_scenario": speculative,
         "manifest": finish_manifest(
             manifest, time.perf_counter() - bench_t0
         ),
@@ -284,21 +383,43 @@ def main(argv=None) -> int:
     atomic_write_json(args.out, perf)
     print(f"wrote {args.out}")
 
-    status = 0 if identical else 1
+    status = 0 if (identical and spec_gate_ok) else 1
     if args.trajectory is not None:
-        entry = {
-            "runner": runner_class(),
-            "scale": perf["config"]["scale"],
-            "records": records,
-            "records_per_second": round(records_per_s, 1),
-            "compile_traces": not args.no_compile_traces,
-            "python": platform.python_version(),
-            "manifest": finish_manifest(
-                manifest, time.perf_counter() - bench_t0
-            ),
-        }
+        final_manifest = finish_manifest(
+            manifest, time.perf_counter() - bench_t0
+        )
+        entries = [
+            {
+                "scenario": "inner_loop",
+                "runner": runner_class(),
+                "scale": perf["config"]["scale"],
+                "records": records,
+                "records_per_second": round(records_per_s, 1),
+                "compile_traces": not args.no_compile_traces,
+                "python": platform.python_version(),
+                "manifest": final_manifest,
+            },
+            {
+                "scenario": "speculative_batches",
+                "runner": runner_class(),
+                "scale": perf["config"]["scale"],
+                "mode": ExecutionMode.BASELINE,
+                "records": spec_records,
+                "records_per_second": speculative["records_per_second"],
+                "spec_off_records_per_second":
+                    speculative["spec_off_records_per_second"],
+                "interpreted_records_per_second":
+                    speculative["interpreted_records_per_second"],
+                "ratio_vs_spec_off": speculative["ratio_vs_spec_off"],
+                "ratio_vs_interpreted":
+                    speculative["ratio_vs_interpreted"],
+                "python": platform.python_version(),
+                "manifest": final_manifest,
+            },
+        ]
         status = max(
-            status, append_trajectory(args.trajectory, entry, args.min_ratio)
+            status,
+            append_trajectory(args.trajectory, entries, args.min_ratio),
         )
     return status
 

@@ -103,6 +103,11 @@ class RewindAction:
     failed_cycles: CycleCounters
     latches_released: List[int] = field(default_factory=list)
     secondary: bool = False
+    #: The squash was caused by speculative-state overflow (tiny L2 /
+    #: no victim space), not by a dependence violation.  The machine
+    #: uses this to stall repeat offenders until the commit horizon
+    #: advances instead of letting them thrash the memory system.
+    overflow: bool = False
 
 
 class TLSEngine:
@@ -141,6 +146,11 @@ class TLSEngine:
         ]
         self.profiler = DependenceProfiler()
         self.load_predictor = ViolatingLoadPredictor()
+        #: Machine hook, called with the victim epoch as the *first*
+        #: action of a rewind — before ``epoch.rewind_to`` captures
+        #: Failed cycles — so an in-flight journaled batch can be
+        #: restored first (see the machine's _restore_batch_journal).
+        self.pre_rewind = None
         # Statistics.
         self.primary_violations = 0
         self.secondary_violations = 0
@@ -516,7 +526,9 @@ class TLSEngine:
                 continue
             if not epoch.subthreads:
                 continue
-            actions.append(self._rewind(epoch, 0, secondary=True))
+            action = self._rewind(epoch, 0, secondary=True)
+            action.overflow = True
+            actions.append(action)
         return actions
 
     def force_rewind(
@@ -529,6 +541,8 @@ class TLSEngine:
         self, epoch: EpochExecution, subthread_idx: int, secondary: bool
     ) -> RewindAction:
         """Apply a rewind to protocol state; timing is left to the machine."""
+        if self.pre_rewind is not None:
+            self.pre_rewind(epoch)
         squashed_ctxs, latches, failed = epoch.rewind_to(subthread_idx, 0.0)
         self.l2.squash_ctxs(epoch.order, squashed_ctxs)
         # Free contexts above the rewind point for reuse; the target

@@ -23,12 +23,18 @@ mapping so the parent can render jobs done/total, ETA, and flag hung
 workers.  Without one, no Manager process is started and workers run the
 original code path.
 
-Two rules keep the workers cheap and picklable:
+Three rules keep the workers cheap and picklable:
 
 * jobs that reference a :class:`~repro.harness.tracecache.TraceSpec`
   ship the (small) spec, not the (large) trace, and each worker
   materializes it locally with a per-process memo — when a shared disk
   cache is in use the trace is generated once and loaded everywhere else;
+* compiled entry lists never cross the process boundary: segments strip
+  their ``_compile_cache`` when pickled, and each worker lowers a
+  region at most once per (trace content hash, cache geometry) via the
+  process-wide :data:`repro.trace.compile.REGION_MEMO` — which forked
+  workers inherit copy-on-write, so regions the parent already compiled
+  are free everywhere;
 * all worker entry points are module-level functions.
 """
 
@@ -84,6 +90,10 @@ def _init_worker(cache_dir, heartbeats=None) -> None:
     _worker_cache_dir = cache_dir
     _worker_heartbeats = heartbeats
     _worker_memo.clear()
+    # repro.trace.compile.REGION_MEMO is deliberately NOT cleared here:
+    # under the fork start method the worker inherits every region the
+    # parent has already lowered, copy-on-write, keyed by content hash —
+    # the zero-copy counterpart of the trace memo above.
 
 
 def _beat(label: str) -> None:

@@ -104,9 +104,14 @@ class JobRunner:
             return config
         return dataclasses.replace(config, **self.config_overrides)
 
-    def _emit_job_telemetry(self, label: str,
+    def _emit_job_telemetry(self, job: "SimJob", label: str,
                             stats: SimulationStats) -> None:
-        self.tracer.counter("sim.stats", stats.counters(), job=label)
+        # The execution-mode label lets the report group Figure-5 cycle
+        # breakdowns per mode instead of summing across modes.
+        self.tracer.counter(
+            "sim.stats", stats.counters(), job=label,
+            mode=job.config.mode_label,
+        )
         if stats.dependence_pairs:
             self.tracer.event(
                 "sim.dependences", job=label,
@@ -123,7 +128,7 @@ class JobRunner:
         label = describe_job(job)
         with self.tracer.span("harness.job", job=label):
             stats = Machine(config, tracer=self.tracer).run(trace)
-        self._emit_job_telemetry(label, stats)
+        self._emit_job_telemetry(job, label, stats)
         return stats
 
     def run(self, sim_jobs: Iterable[SimJob]) -> List[SimulationStats]:
@@ -149,7 +154,7 @@ class JobRunner:
                 # Workers can't share the tracer; emit their per-job
                 # counters from the collected results instead.
                 for job, stats in zip(sim_jobs, results):
-                    self._emit_job_telemetry(describe_job(job), stats)
+                    self._emit_job_telemetry(job, describe_job(job), stats)
         else:
             results = []
             for job in sim_jobs:

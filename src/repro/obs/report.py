@@ -92,6 +92,38 @@ def _sum_counters(records: List[dict]) -> Dict[str, float]:
     return totals
 
 
+def _mode_cycle_groups(records: List[dict]) -> List[Tuple[str, Dict[str, float]]]:
+    """Per-execution-mode ``cycles.*`` totals, in Figure-5 mode order.
+
+    A run log typically mixes jobs from several execution modes (the
+    five Figure-5 bars); summing their cycle breakdowns together is
+    meaningless — an idle-heavy sequential bar would swamp the parallel
+    bars.  Jobs whose counter record carries no ``mode`` attribute (old
+    logs, hand-built configs) group under ``"(unlabeled)"``.
+    """
+    groups: Dict[str, Dict[str, float]] = {}
+    for rec in records:
+        if rec.get("type") != "counter":
+            continue
+        values = rec.get("values", {})
+        if not any(k.startswith("cycles.") for k in values):
+            continue
+        mode = rec.get("attrs", {}).get("mode") or "(unlabeled)"
+        totals = groups.setdefault(mode, {})
+        for key, value in values.items():
+            if key.startswith("cycles."):
+                totals[key] = totals.get(key, 0.0) + value
+    # Figure-5 order first, anything else (ablation modes, unlabeled)
+    # after in name order.
+    known = (
+        "sequential", "tls_seq", "no_subthread", "baseline",
+        "no_speculation",
+    )
+    ordered = [m for m in known if m in groups]
+    ordered += sorted(m for m in groups if m not in known)
+    return [(m, groups[m]) for m in ordered]
+
+
 def _dependence_totals(
     records: List[dict],
 ) -> List[Tuple[Any, Any, float, int]]:
@@ -172,22 +204,31 @@ def render_report(path, top_spans: int = 12, top_pairs: int = 10) -> str:
         sections.append("(no spans recorded)")
 
     totals = _sum_counters(records)
-    cpu_cycles = sum(
-        totals.get(f"cycles.{cat}", 0.0) for cat in CATEGORY_ORDER
-    )
-    if cpu_cycles > 0:
-        fractions = {
-            cat: totals.get(f"cycles.{cat}", 0.0) / cpu_cycles
-            for cat in CATEGORY_ORDER
-        }
+    mode_groups = [
+        (mode, cycles, sum(
+            cycles.get(f"cycles.{cat}", 0.0) for cat in CATEGORY_ORDER
+        ))
+        for mode, cycles in _mode_cycle_groups(records)
+    ]
+    mode_groups = [g for g in mode_groups if g[2] > 0]
+    if mode_groups:
+        labels = [mode for mode, _, _ in mode_groups]
+        fractions = [
+            {
+                cat: cycles.get(f"cycles.{cat}", 0.0) / total
+                for cat in CATEGORY_ORDER
+            }
+            for _, cycles, total in mode_groups
+        ]
         sections.append(render_stacked_bars(
-            ["all jobs"], [fractions], CATEGORY_ORDER,
-            title="Cycle breakdown (Figure 5 categories, all jobs)",
+            labels, fractions, CATEGORY_ORDER,
+            title="Cycle breakdown (Figure 5 categories, per mode)",
         ))
         sections.append(render_table(
-            ["category", "cpu-cycles", "fraction"],
+            ["mode", "category", "cpu-cycles", "fraction"],
             [
-                [cat, totals.get(f"cycles.{cat}", 0.0), fractions[cat]]
+                [mode, cat, cycles.get(f"cycles.{cat}", 0.0), frac[cat]]
+                for (mode, cycles, _), frac in zip(mode_groups, fractions)
                 for cat in CATEGORY_ORDER
             ],
         ))

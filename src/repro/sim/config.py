@@ -80,6 +80,13 @@ class MachineConfig:
     #: statistic matches; ``--no-compile-traces`` on the harness CLI (or
     #: False here) is the escape hatch / differential-testing axis.
     compile_traces: bool = True
+    #: Extend compiled dispatch to *speculative* epochs: journaled
+    #: super-record batches (rewound exactly on a mid-flight squash) and
+    #: chained in-order dispatch.  Requires ``compile_traces``; False
+    #: restricts batching to non-speculative epochs (PR-3 behavior) and
+    #: is the baseline the speculative bench_speed scenario compares
+    #: against.  Byte-identical either way.
+    speculative_batches: bool = True
     #: Opt-in cycle-level invariant checking (repro.verify.invariants):
     #: the machine validates protocol and memory-system invariants as it
     #: runs.  Costs simulation time; off for all paper numbers.
@@ -87,6 +94,11 @@ class MachineConfig:
     #: Steps between full invariant sweeps when check_invariants is on
     #: (the O(1) commit-horizon check runs every step regardless).
     invariant_interval: int = 64
+    #: The :class:`ExecutionMode` this config was derived for (set by
+    #: :meth:`for_mode`), or None for hand-built configs.  Pure
+    #: provenance for telemetry — the run-log report groups its Figure-5
+    #: cycle breakdown by it — so it is excluded from equality/hash.
+    mode_label: str = field(default=None, compare=False, repr=False)
 
     def l1_geometry(self) -> CacheGeometry:
         return CacheGeometry(
@@ -112,14 +124,16 @@ class MachineConfig:
         if mode in (ExecutionMode.SEQUENTIAL, ExecutionMode.TLS_SEQ):
             # One CPU does all the work; the others idle (their idle time
             # appears in the Figure 5 breakdown exactly as in the paper).
-            return replace(cfg, region_cpus=1, speculation_enabled=False)
-        if mode == ExecutionMode.NO_SUBTHREAD:
-            return cfg.with_tls(max_subthreads=1)
-        if mode == ExecutionMode.BASELINE:
-            return cfg
-        if mode == ExecutionMode.NO_SPECULATION:
-            return replace(cfg, speculation_enabled=False)
-        raise ValueError(f"unknown execution mode {mode!r}")
+            cfg = replace(cfg, region_cpus=1, speculation_enabled=False)
+        elif mode == ExecutionMode.NO_SUBTHREAD:
+            cfg = cfg.with_tls(max_subthreads=1)
+        elif mode == ExecutionMode.BASELINE:
+            pass
+        elif mode == ExecutionMode.NO_SPECULATION:
+            cfg = replace(cfg, speculation_enabled=False)
+        else:
+            raise ValueError(f"unknown execution mode {mode!r}")
+        return replace(cfg, mode_label=mode)
 
 
 def table1_text(config: MachineConfig = None) -> str:

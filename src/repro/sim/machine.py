@@ -35,7 +35,12 @@ from ..cpu.pipeline import CorePipeline
 from ..memory.l1 import L1Cache
 from ..memory.l2 import SpeculativeL2
 from ..memory.timing import MemorySystemTiming
-from ..trace.compile import MEM as CK_MEM, compile_region
+from ..trace.compile import (
+    MEM as CK_MEM,
+    compile_region,
+    memo_get,
+    memo_put,
+)
 from ..trace.events import (
     EpochTrace,
     ParallelRegion,
@@ -63,6 +68,38 @@ _OVERHEAD = Category.OVERHEAD
 _RUNNING = EpochStatus.RUNNING
 
 
+class _BatchJournal:
+    """Rewind journal for one in-flight speculative super-record.
+
+    Armed at dispatch (``epoch`` set), disarmed when the completion
+    event pops or a squash restores it.  One per CPU, reused across
+    dispatches — at most one batch is ever in flight per CPU.
+    """
+
+    __slots__ = (
+        "epoch",       # EpochExecution while armed, else None
+        "start",       # record cursor at dispatch
+        "start_time",  # dispatch cycle
+        "steps",       # per-record (instrs, cycles, is_overhead, branch)
+        "instrs",      # total instructions charged at dispatch
+        "busy",        # busy cycles charged (incl. dynamic penalties)
+        "overhead",    # overhead cycles charged
+        "pred_snap",   # predictor scalar snapshot (journal())
+        "pred_log",    # predictor counter undo log, reused list
+    )
+
+    def __init__(self):
+        self.epoch = None
+        self.start = 0
+        self.start_time = 0.0
+        self.steps = ()
+        self.instrs = 0
+        self.busy = 0
+        self.overhead = 0
+        self.pred_snap = None
+        self.pred_log = []
+
+
 class _CPU:
     """Per-core simulation state."""
 
@@ -79,10 +116,13 @@ class _CPU:
         "totals",
         "outstanding",
         "retired_at_oldest_miss",
+        "journal",
+        "hoist",
     )
 
     def __init__(self, index: int, config: MachineConfig):
         self.index = index
+        self.journal = _BatchJournal()
         self.pipeline = CorePipeline(config.pipeline)
         self.l1 = L1Cache(config.l1_geometry())
         self.epoch: Optional[EpochExecution] = None
@@ -100,6 +140,9 @@ class _CPU:
         #: each miss was issued.
         self.outstanding: List[Tuple[float, int]] = []
         self.retired_at_oldest_miss = 0
+        #: Per-region tuple of hot dispatch bindings (chained compiled
+        #: dispatch); rebuilt by _run_region, unpacked once per event.
+        self.hoist: Optional[tuple] = None
 
 
 class Machine:
@@ -152,6 +195,18 @@ class Machine:
         #: line address -> CPU indices whose predicted-violating load is
         #: waiting for an earlier epoch's store to that line.
         self._sync_waiters: Dict[int, List[int]] = {}
+        #: Overflow-squash stall state.  An epoch whose speculative
+        #: state overflows the L2 is fully squashed and normally retried
+        #: after the violation penalty; if it overflows *again* without
+        #: the commit horizon having advanced, retrying immediately is
+        #: futile (the cache pressure that evicted it is still there)
+        #: and a population of thrashing epochs can starve the homefree
+        #: epoch's memory accesses almost indefinitely.  Repeat
+        #: offenders are parked here (cpu index -> (epoch, restart
+        #: cycle)) and woken when the commit horizon next advances.
+        self._overflow_parked: Dict[int, Tuple] = {}
+        #: epoch order -> commit horizon at that epoch's last overflow.
+        self._overflow_seen: Dict[int, int] = {}
         self.now = 0.0
         #: (cycle, cpu_index, event_version) — ties resolve by CPU index.
         self._heap: List[Tuple[float, int, int]] = []
@@ -204,10 +259,30 @@ class Machine:
             not self._overlap_loads,
         )
         self._region_compiled: Optional[Dict[int, list]] = None
+        #: Regions whose lowered entries came out of a cache (the
+        #: process-wide memo or the segment-attached dict) instead of
+        #: being recompiled.
+        self._compile_reuses = 0
         self._batched_records = 0
         self._fast_loads = 0
         self._fast_stores = 0
         self._private_stores = 0
+        #: Speculative dispatch machinery (journaled batches + chained
+        #: in-order dispatch); requires compiled traces.
+        self._spec_dispatch = (
+            self._compile_enabled and self.config.speculative_batches
+        )
+        self._spec_batches = 0
+        self._batch_squashes = 0
+        #: Highest CPU index that processed an event at the current
+        #: cycle (reset per region) — _restore_batch_journal's replay
+        #: needs it to place same-cycle journal steps against the
+        #: violator in canonical interpreted order.
+        self._proc_max_idx = -1
+        # A squash must restore any in-flight batch journal *before*
+        # the epoch state is rewound (the journal corrections feed the
+        # Failed-cycle attribution the rewind captures).
+        self.engine.pre_rewind = self._restore_batch_journal
 
     # ------------------------------------------------------------------
     # Public API
@@ -216,6 +291,11 @@ class Machine:
     def run(self, workload: WorkloadTrace) -> SimulationStats:
         """Replay the workload; returns the aggregated statistics."""
         tracer = self.tracer
+        # Traces materialized through the harness cache carry their
+        # spec_key; together with the segment ordinal it names a region's
+        # records process-wide (repro.trace.compile.REGION_MEMO).
+        content_key = getattr(workload, "content_key", None)
+        ordinal = 0
         for txn in workload.transactions:
             for segment in txn.segments:
                 if isinstance(segment, SerialSegment):
@@ -228,13 +308,22 @@ class Machine:
                     epochs = segment.epochs
                 else:
                     raise TypeError(f"unknown segment {segment!r}")
+                token = (
+                    None if content_key is None
+                    else (content_key, ordinal)
+                )
+                ordinal += 1
                 if tracer is not None:
                     with tracer.span(
                         "machine.segment", kind=kind, epochs=len(epochs)
                     ):
-                        self._run_region(epochs, cache_host=segment)
+                        self._run_region(
+                            epochs, cache_host=segment, memo_token=token
+                        )
                 else:
-                    self._run_region(epochs, cache_host=segment)
+                    self._run_region(
+                        epochs, cache_host=segment, memo_token=token
+                    )
         if self._invariants is not None:
             self._invariants.on_finish(self)
         return self._collect_stats()
@@ -248,20 +337,29 @@ class Machine:
         return max(1, min(width, self.config.n_cpus))
 
     def _run_region(self, epoch_traces: List[EpochTrace],
-                    cache_host=None) -> None:
+                    cache_host=None, memo_token=None) -> None:
         if not epoch_traces:
             return
         if self._compile_enabled:
             # Compilations are pure functions of (records, compile key),
-            # so they can be reused across Machine instances via the
-            # segment object.  The entries are cached positionally — the
-            # serial pseudo-EpochTrace is recreated per run, so an
+            # looked up through two caches: the process-wide region memo
+            # keyed by (trace content key, segment ordinal, compile key)
+            # — shared across Machine instances and inherited copy-on-
+            # write by forked harness workers — and a per-segment dict
+            # keyed by compile key for traces without a content key
+            # (inline/synthesized).  The entries are cached positionally
+            # — the serial pseudo-EpochTrace is recreated per run, so an
             # id-keyed cache would never hit.
             per_epoch = None
+            token = None
+            if memo_token is not None:
+                token = (memo_token[0], memo_token[1], self._compile_key)
+                per_epoch = memo_get(token)
+            host_cache = None
             if cache_host is not None:
-                cached = getattr(cache_host, "_compile_cache", None)
-                if cached is not None and cached[0] == self._compile_key:
-                    per_epoch = cached[1]
+                host_cache = getattr(cache_host, "_compile_cache", None)
+                if per_epoch is None and host_cache is not None:
+                    per_epoch = host_cache.get(self._compile_key)
             if per_epoch is None:
                 if self.tracer is not None:
                     with self.tracer.span(
@@ -276,8 +374,14 @@ class Machine:
                         epoch_traces, self.l2, self.config.pipeline,
                         batches=not self._overlap_loads,
                     ).epochs
+                if token is not None:
+                    memo_put(token, per_epoch)
                 if cache_host is not None:
-                    cache_host._compile_cache = (self._compile_key, per_epoch)
+                    if host_cache is None:
+                        cache_host._compile_cache = host_cache = {}
+                    host_cache[self._compile_key] = per_epoch
+            else:
+                self._compile_reuses += 1
             self._region_compiled = {
                 id(t): entries
                 for t, entries in zip(epoch_traces, per_epoch)
@@ -301,9 +405,50 @@ class Machine:
         heappop = heapq.heappop
         invariants = self._invariants
         engine = self.engine
+        spec_dispatch = (
+            self._spec_dispatch and self._region_compiled is not None
+        )
+        if spec_dispatch:
+            # Bindings the chained dispatch loop needs per record, frozen
+            # for the region.  Building them once here and unpacking one
+            # tuple per heap event replaces ~30 chained attribute loads
+            # per event (every name below is assigned once at machine or
+            # region setup and only mutated in place afterwards).
+            banks = self.msys.banks
+            shared = (
+                self.observer, self._overlap_loads, self._load_policies,
+                self._subthread_spacing, self._spec_slice_limit,
+                self._max_subthreads, self._subthread_start_cost,
+                self._banks_reserve, self._chan_reserve, self._l2_lat,
+                self._mem_lat, self.l2.load_line, self.l2.store_line,
+                self._sync_waiters, self.msys, self._value_predict,
+                banks, banks._line_shift, banks._bank_mask,
+                banks._next_free, banks.occupancy,
+            )
+            for c in cpus:
+                c.hoist = shared + (
+                    c.pipeline, c.l1, c.pipeline._issue_width,
+                    c.pipeline._mispredict_penalty,
+                    self._other_l1s[c.index],
+                    engine.exposed_load_tables[c.index].update,
+                    c.l1.resident, c.l1._sets, c.l1._set_shift,
+                    c.l1._set_mask,
+                )
+        # The same-cycle processing census is region-scoped (see
+        # _restore_batch_journal); a journal never spans regions.
+        self._proc_max_idx = -1
+        # Overflow stalls never span regions either (a parked epoch must
+        # commit for its region to finish); cleared defensively.
+        self._overflow_parked.clear()
         # The per-event dispatch (formerly a _step_cpu method) is merged
         # into the loop: one Python frame per heap event was measurable
-        # at this event rate.
+        # at this event rate.  Record dispatchers return the CPU's next
+        # event time (or None when blocked/rescheduled); the loop either
+        # queues it or — for speculative epochs under compiled dispatch —
+        # *chains*: when the next event would be the very next heap pop
+        # anyway ((time, cpu) sorts before the heap top), the next record
+        # is processed in-line, skipping the push/pop round-trip.  The
+        # canonical event order is unchanged by construction.
         while self._region_remaining > 0:
             if not heap:
                 self._break_deadlock()
@@ -312,91 +457,634 @@ class Machine:
             cpu = cpus[cpu_idx]
             if version != cpu.event_version:
                 continue  # superseded by a rewind/wake
-            if now > self.now:
-                self.now = now
+            journal = cpu.journal
+            if journal.epoch is not None:
+                # The only valid event while a batch is in flight is its
+                # own completion (a rewind bumps the version *and*
+                # disarms the journal first): the batch survived.
+                journal.epoch = None
             epoch = cpu.epoch
             if epoch is None or epoch.status != _RUNNING:
                 continue
-            if invariants is not None:
-                invariants.on_step(self)
-            records = epoch.records
-            cursor = epoch.cursor
-            if cursor >= epoch.n_records:  # inline epoch.done
-                self._finish_epoch(cpu, epoch, now)
+            if now > self.now:
+                self.now = now
+                self._proc_max_idx = cpu_idx
+            elif cpu_idx > self._proc_max_idx:
+                self._proc_max_idx = cpu_idx
+            if not spec_dispatch:
+                # Single-dispatch body (speculative_batches off, or no
+                # compiled region): one record per heap event, no
+                # chaining, no journals — the comparison baseline.
+                if invariants is not None:
+                    invariants.on_step(self)
+                records = epoch.records
+                cursor = epoch.cursor
+                if cursor >= epoch.n_records:  # inline epoch.done
+                    self._finish_epoch(cpu, epoch, now)
+                    continue
+                # Sub-thread start policy (between records).  Non-
+                # speculative epochs never open sub-threads, so skip the
+                # engine call for them; under fixed spacing the distance
+                # check needs no policy call either (the engine's own
+                # first test is the same comparison).
+                if epoch.speculative:
+                    spacing = self._subthread_spacing
+                    if (
+                        spacing is None
+                        or epoch.instrs_since_checkpoint >= spacing
+                    ) and (
+                        len(epoch.subthreads) < self._max_subthreads
+                    ) and engine.maybe_start_subthread(epoch, now):
+                        self._emit(now, SUBTHREAD_START, epoch)
+                        cost = self._subthread_start_cost
+                        if cost:
+                            epoch.accrue(Category.OVERHEAD, cost)
+                            self._schedule(cpu, now + cost)
+                            continue
+                handled = False
+                t_next = None
+                compiled = epoch.compiled
+                if compiled is not None:
+                    entry = compiled[cursor]
+                    if entry is not None:
+                        if entry[0] == CK_MEM:
+                            handled = True
+                            rec = records[cursor]
+                            if rec[0] == Rec.LOAD:
+                                t_next = self._do_load_fast(
+                                    cpu, epoch, rec, entry[1], now
+                                )
+                            else:
+                                t_next = self._do_store_fast(
+                                    cpu, epoch, rec, entry[1], now
+                                )
+                        elif not epoch.speculative and epoch.offset == 0:
+                            # Super-records run only for non-speculative
+                            # epochs here; journaled speculative batches
+                            # require spec_dispatch.
+                            handled = True
+                            t_next = self._do_batch(cpu, epoch, entry, now)
+                if not handled:
+                    rec = records[cursor]
+                    kind = rec[0]
+                    if kind == Rec.COMPUTE:
+                        t_next = self._do_compute(
+                            cpu, epoch, rec[1], Category.BUSY, now
+                        )
+                    elif kind == Rec.TLS_OVERHEAD:
+                        t_next = self._do_compute(
+                            cpu, epoch, rec[1], Category.OVERHEAD, now
+                        )
+                    elif kind == Rec.OP:
+                        cycles = cpu.pipeline.op_cycles(rec[1], rec[2])
+                        # epoch.retire + epoch.accrue, inlined.
+                        epoch.instrs_since_checkpoint += rec[2]
+                        cp = epoch.subthreads[-1]
+                        cp.instructions += rec[2]
+                        cp.pending.cycles[_BUSY] += cycles
+                        epoch.cursor = cursor + 1
+                        t_next = now + cycles
+                    elif kind == Rec.BRANCH:
+                        cycles = cpu.pipeline.branch_cycles(rec[1], rec[2])
+                        epoch.instrs_since_checkpoint += 1
+                        cp = epoch.subthreads[-1]
+                        cp.instructions += 1
+                        cp.pending.cycles[_BUSY] += cycles
+                        epoch.cursor = cursor + 1
+                        t_next = now + cycles
+                    elif kind == Rec.LOAD:
+                        self._do_load(cpu, epoch, rec, now)
+                    elif kind == Rec.STORE:
+                        self._do_store(cpu, epoch, rec, now)
+                    elif kind == Rec.LATCH_ACQ:
+                        self._do_latch_acquire(cpu, epoch, rec, now)
+                    elif kind == Rec.LATCH_REL:
+                        self._do_latch_release(cpu, epoch, rec, now)
+                    else:
+                        raise ValueError(f"unknown record kind {kind}")
+                if t_next is not None:
+                    cpu.event_version += 1
+                    _heappush(heap, (t_next, cpu_idx, cpu.event_version))
                 continue
-            # Sub-thread start policy (between records).  Non-speculative
-            # epochs never open sub-threads, so skip the engine call for
-            # them; under fixed spacing the distance check needs no policy
-            # call either (the engine's own first test is the same
-            # comparison).
-            if epoch.speculative:
-                spacing = self._subthread_spacing
-                if (
-                    spacing is None
-                    or epoch.instrs_since_checkpoint >= spacing
+            # -- Chained compiled dispatch ------------------------------
+            # Chaining is safe for any epoch: the chain condition at the
+            # bottom admits only events that would be the very next heap
+            # pop, so the canonical event order is preserved — no other
+            # CPU processes anything between chained steps.  Everything
+            # the per-record dispatchers rebind per call is hoisted here
+            # once per heap event and stays live across the chain; the
+            # two mutation points that can invalidate a binding rebind
+            # (sub-thread checkpoints) or break the chain (rewinds of
+            # this epoch) explicitly.  The record bodies mirror
+            # _do_load_fast / _do_store_fast / _do_compute and the
+            # interpreted OP/BRANCH arms byte for byte.
+            records = epoch.records
+            n_records = epoch.n_records
+            compiled = epoch.compiled
+            speculative = epoch.speculative
+            order = epoch.order
+            cp = epoch.subthreads[-1]
+            pending = cp.pending.cycles
+            if speculative:
+                su = epoch.store_union
+                sm = cp.store_mask
+                ctx = cp.ctx
+                subidx = cp.index
+            else:
+                su = sm = None
+                ctx = None
+                subidx = -1
+            (observer, overlap, load_policies, spacing_cfg, slice_limit,
+             max_subthreads, start_cost, banks_reserve, chan_reserve,
+             l2_lat, mem_lat, l2_load, l2_store, sync_waiters, msys, vp,
+             banks, bank_shift, bank_mask, bank_free, bank_occ,
+             pipeline, l1, width, penalty, other_l1s, elt_update,
+             l1_resident, l1_sets, l1_shift, l1_mask,
+             ) = cpu.hoist
+            while True:
+                if invariants is not None:
+                    invariants.on_step(self)
+                cursor = epoch.cursor
+                if cursor >= n_records:  # inline epoch.done
+                    self._finish_epoch(cpu, epoch, now)
+                    break
+                if speculative and (
+                    spacing_cfg is None
+                    or epoch.instrs_since_checkpoint >= spacing_cfg
+                ) and (
+                    # The policy's own first tests, hoisted: skip the
+                    # call once the sub-thread budget is exhausted.
+                    len(epoch.subthreads) < max_subthreads
                 ) and engine.maybe_start_subthread(epoch, now):
                     self._emit(now, SUBTHREAD_START, epoch)
-                    cost = self._subthread_start_cost
-                    if cost:
-                        epoch.accrue(Category.OVERHEAD, cost)
-                        self._schedule(cpu, now + cost)
-                        continue
-            compiled = epoch.compiled
-            if compiled is not None:
+                    if start_cost:
+                        epoch.accrue(Category.OVERHEAD, start_cost)
+                        self._schedule(cpu, now + start_cost)
+                        break
+                    # A checkpoint opened between records: rebind the
+                    # sub-thread locals before dispatching the record.
+                    cp = epoch.subthreads[-1]
+                    pending = cp.pending.cycles
+                    sm = cp.store_mask
+                    ctx = cp.ctx
+                    subidx = cp.index
+                rec = records[cursor]
+                kind = rec[0]
                 entry = compiled[cursor]
-                if entry is not None:
-                    if entry[0] == CK_MEM:
-                        rec = records[cursor]
-                        if rec[0] == Rec.LOAD:
-                            self._do_load_fast(
-                                cpu, epoch, rec, entry[1], now
+                t_next = None
+                if entry is not None and entry[0] == CK_MEM:
+                    if kind == Rec.LOAD:
+                        # _do_load_fast, inlined against the hoisted
+                        # locals.
+                        pc = rec[3]
+                        if cpu.sync_skip:
+                            cpu.sync_skip = False
+                        elif load_policies:
+                            if engine.maybe_start_predictor_subthread(
+                                epoch, pc, now
+                            ):
+                                self._emit(
+                                    now, SUBTHREAD_START, epoch,
+                                    detail="predictor",
+                                )
+                                if start_cost:
+                                    epoch.accrue(
+                                        Category.OVERHEAD, start_cost
+                                    )
+                                    self._schedule(cpu, now + start_cost)
+                                    break
+                                cp = epoch.subthreads[-1]
+                                pending = cp.pending.cycles
+                                sm = cp.store_mask
+                                ctx = cp.ctx
+                                subidx = cp.index
+                            if engine.should_synchronize_load(epoch, pc):
+                                line = entry[1][0][0]
+                                cpu.sync_line = line
+                                cpu.block_start = now
+                                self._emit(
+                                    now, STALL_BEGIN, epoch, detail="sync"
+                                )
+                                cpu.event_version += 1
+                                sync_waiters.setdefault(line, []).append(
+                                    cpu_idx
+                                )
+                                break
+                        epoch.instrs_since_checkpoint += 1
+                        cp.instructions += 1
+                        if observer is not None:
+                            observer.on_op(
+                                epoch, Rec.LOAD, rec[1], rec[2], pc
+                            )
+                        self._fast_loads += 1
+                        stall = 0.0
+                        if not speculative:
+                            for (line, _sub_addr, _mask, load_bits,
+                                 _private) in entry[1]:
+                                if line in l1_resident:
+                                    # l1.access hit, inlined: bump the
+                                    # counter and refresh LRU order.
+                                    l1.hits += 1
+                                    order_l = l1_sets[
+                                        (line >> l1_shift) & l1_mask
+                                    ]._order
+                                    if order_l[-1] != line:
+                                        order_l.remove(line)
+                                        order_l.append(line)
+                                    continue
+                                l1.misses += 1
+                                hit, result = l2_load(
+                                    line, order, None, False, load_bits
+                                )
+                                if hit:
+                                    # banks.reserve + L2 latency, inlined
+                                    # (pow2 bank selection; the generic
+                                    # fallback keeps the method call).
+                                    if bank_mask is not None:
+                                        bank = (
+                                            line >> bank_shift
+                                        ) & bank_mask
+                                        s = bank_free[bank]
+                                        if now > s:
+                                            s = now
+                                        else:
+                                            banks.contention_cycles += (
+                                                s - now
+                                            )
+                                        bank_free[bank] = s + bank_occ
+                                        banks.accesses += 1
+                                        ready = s + l2_lat
+                                    else:
+                                        ready = (
+                                            banks_reserve(line, now)
+                                            + l2_lat
+                                        )
+                                else:
+                                    ready = chan_reserve(
+                                        banks_reserve(line, now) + l2_lat
+                                    ) + mem_lat
+                                    if result.memory_accesses > 1:
+                                        for _ in range(
+                                            result.memory_accesses - 1
+                                        ):
+                                            msys.extra_memory_transfer(now)
+                                    if result.invalidated_lines:
+                                        self._apply_inclusion(
+                                            result.invalidated_lines
+                                        )
+                                if overlap:
+                                    if (
+                                        len(cpu.outstanding)
+                                        >= self._mshr_entries
+                                    ):
+                                        oldest_ready, _ = (
+                                            cpu.outstanding.pop(0)
+                                        )
+                                        if oldest_ready - now > stall:
+                                            stall = oldest_ready - now
+                                    cpu.outstanding.append((
+                                        ready,
+                                        pipeline.instructions_retired,
+                                    ))
+                                elif ready - now > stall:
+                                    stall = ready - now
+                                l1.fill(line, spec=False, subidx=-1)
+                        else:
+                            for (line, sub_addr, mask, load_bits,
+                                 _private) in entry[1]:
+                                if line in l1_resident:
+                                    # l1.access + is_notified +
+                                    # mark_spec, inlined: one dict chain
+                                    # to the L1Line instead of three
+                                    # lookups through method calls.
+                                    l1.hits += 1
+                                    cset = l1_sets[
+                                        (line >> l1_shift) & l1_mask
+                                    ]
+                                    order_l = cset._order
+                                    if order_l[-1] != line:
+                                        order_l.remove(line)
+                                        order_l.append(line)
+                                    lobj = cset._by_tag[line]
+                                    if not lobj.notified:
+                                        written = su.get(line)
+                                        if written is None or (
+                                            mask & ~written
+                                        ):
+                                            exposed = True
+                                            if vp and (
+                                                engine
+                                                ._value_prediction_hits(
+                                                    epoch, sub_addr, pc
+                                                )
+                                            ):
+                                                exposed = False
+                                                engine \
+                                                    .value_predictions_used \
+                                                    += 1
+                                            l2_load(
+                                                line, order, ctx,
+                                                exposed, load_bits,
+                                            )
+                                            banks_reserve(line, now)
+                                            if exposed:
+                                                elt_update(line, pc)
+                                                lobj.spec = True
+                                                if subidx > lobj.subidx:
+                                                    lobj.subidx = subidx
+                                                l1._spec_tags.add(line)
+                                                lobj.notified = True
+                                    continue
+                                l1.misses += 1
+                                written = su.get(line)
+                                exposed = written is None or bool(
+                                    mask & ~written
+                                )
+                                if exposed and vp and (
+                                    engine._value_prediction_hits(
+                                        epoch, sub_addr, pc
+                                    )
+                                ):
+                                    exposed = False
+                                    engine.value_predictions_used += 1
+                                hit, result = l2_load(
+                                    line, order, ctx, exposed, load_bits
+                                )
+                                if exposed:
+                                    elt_update(line, pc)
+                                if hit:
+                                    # banks.reserve + L2 latency, inlined.
+                                    if bank_mask is not None:
+                                        bank = (
+                                            line >> bank_shift
+                                        ) & bank_mask
+                                        s = bank_free[bank]
+                                        if now > s:
+                                            s = now
+                                        else:
+                                            banks.contention_cycles += (
+                                                s - now
+                                            )
+                                        bank_free[bank] = s + bank_occ
+                                        banks.accesses += 1
+                                        ready = s + l2_lat
+                                    else:
+                                        ready = (
+                                            banks_reserve(line, now)
+                                            + l2_lat
+                                        )
+                                else:
+                                    ready = chan_reserve(
+                                        banks_reserve(line, now) + l2_lat
+                                    ) + mem_lat
+                                    if result.memory_accesses > 1:
+                                        for _ in range(
+                                            result.memory_accesses - 1
+                                        ):
+                                            msys.extra_memory_transfer(now)
+                                    if result.invalidated_lines:
+                                        self._apply_inclusion(
+                                            result.invalidated_lines
+                                        )
+                                if overlap:
+                                    if (
+                                        len(cpu.outstanding)
+                                        >= self._mshr_entries
+                                    ):
+                                        oldest_ready, _ = (
+                                            cpu.outstanding.pop(0)
+                                        )
+                                        if oldest_ready - now > stall:
+                                            stall = oldest_ready - now
+                                    cpu.outstanding.append((
+                                        ready,
+                                        pipeline.instructions_retired,
+                                    ))
+                                elif ready - now > stall:
+                                    stall = ready - now
+                                l1.fill(
+                                    line, spec=True, subidx=subidx,
+                                    notified=exposed,
+                                )
+                        pending[_BUSY] += 1
+                        if stall > 0:
+                            pending[_MISS] += stall
+                        epoch.cursor = cursor + 1
+                        t_next = now + 1 + stall
+                    else:
+                        # _do_store_fast, inlined against the hoisted
+                        # locals.
+                        pc = rec[3]
+                        epoch.instrs_since_checkpoint += 1
+                        cp.instructions += 1
+                        if observer is not None:
+                            observer.on_op(
+                                epoch, Rec.STORE, rec[1], rec[2], pc
+                            )
+                        self._fast_stores += 1
+                        self_rewound = False
+                        for (line, _sub_addr, words, _load_bits,
+                             private) in entry[1]:
+                            if speculative:
+                                sm[line] = sm.get(line, 0) | words
+                                su[line] = su.get(line, 0) | words
+                            _hit, result = l2_store(
+                                line, order, ctx, words, pc, not private
+                            )
+                            rewinds = None
+                            if result is not None:
+                                violations = result.violations
+                                overflow = result.overflow_squash
+                                if violations or overflow:
+                                    rewinds = engine._resolve_violations(
+                                        violations
+                                    )
+                                    if overflow:
+                                        rewinds.extend(
+                                            engine._resolve_overflow(
+                                                overflow
+                                            )
+                                        )
+                            # Write-through: the store reserves bandwidth
+                            # but the CPU does not wait for it.
+                            if bank_mask is not None:
+                                bank = (line >> bank_shift) & bank_mask
+                                s = bank_free[bank]
+                                if now > s:
+                                    s = now
+                                else:
+                                    banks.contention_cycles += s - now
+                                bank_free[bank] = s + bank_occ
+                                banks.accesses += 1
+                            else:
+                                banks_reserve(line, now)
+                            if result is not None:
+                                if result.memory_accesses:
+                                    for _ in range(result.memory_accesses):
+                                        msys.extra_memory_transfer(now)
+                                if result.invalidated_lines:
+                                    self._apply_inclusion(
+                                        result.invalidated_lines
+                                    )
+                            for ol1 in other_l1s:
+                                if line in ol1.resident:
+                                    ol1.invalidate(line)
+                            if line in l1_resident:
+                                # l1.fill on a resident line, inlined
+                                # (the common store-after-load case):
+                                # LRU touch plus speculative marking.
+                                cset = l1_sets[
+                                    (line >> l1_shift) & l1_mask
+                                ]
+                                order_l = cset._order
+                                if order_l[-1] != line:
+                                    order_l.remove(line)
+                                    order_l.append(line)
+                                if speculative:
+                                    lobj = cset._by_tag[line]
+                                    lobj.spec = True
+                                    if subidx > lobj.subidx:
+                                        lobj.subidx = subidx
+                                    l1._spec_tags.add(line)
+                            else:
+                                l1.fill(
+                                    line, spec=speculative, subidx=subidx
+                                )
+                            if rewinds:
+                                self._apply_rewinds(rewinds, now)
+                                if not self_rewound:
+                                    for r in rewinds:
+                                        if r.epoch is epoch:
+                                            self_rewound = True
+                                            break
+                                if speculative:
+                                    # A rewind may have truncated the
+                                    # sub-thread list and replaced the
+                                    # store-mask union: rebind.
+                                    cp = epoch.subthreads[-1]
+                                    pending = cp.pending.cycles
+                                    sm = cp.store_mask
+                                    su = epoch.store_union
+                                    ctx = cp.ctx
+                                    subidx = cp.index
+                            if private:
+                                self._private_stores += 1
+                            elif sync_waiters:
+                                self._wake_sync_on_store(line, order, now)
+                        if self_rewound:
+                            # Squashed mid-record; the rewind already
+                            # rescheduled this CPU.
+                            break
+                        pending[_BUSY] += 1
+                        epoch.cursor = cursor + 1
+                        t_next = now + 1
+                else:
+                    if entry is not None and epoch.offset == 0:
+                        if speculative:
+                            # Journaled dispatch; None means the gate
+                            # refused (the interpreted path would have
+                            # sliced a record or opened a checkpoint
+                            # inside the run).
+                            t_next = self._do_batch_spec(
+                                cpu, epoch, entry, now, journal
                             )
                         else:
-                            self._do_store_fast(
-                                cpu, epoch, rec, entry[1], now
+                            t_next = self._do_batch(cpu, epoch, entry, now)
+                    if t_next is None:
+                        if kind == Rec.COMPUTE or kind == Rec.TLS_OVERHEAD:
+                            # _do_compute, inlined.
+                            count = rec[1]
+                            chunk = count - epoch.offset
+                            if speculative:
+                                spacing = spacing_cfg
+                                if spacing is None:
+                                    spacing = engine.spacing_for(epoch)
+                                if spacing < chunk:
+                                    chunk = spacing
+                                if slice_limit < chunk:
+                                    chunk = slice_limit
+                                if len(epoch.subthreads) < max_subthreads:
+                                    to_boundary = (
+                                        spacing
+                                        - epoch.instrs_since_checkpoint
+                                    )
+                                    if 0 < to_boundary < chunk:
+                                        chunk = to_boundary
+                            pipeline.instructions_retired += chunk
+                            cycles = (chunk + width - 1) // width
+                            mlp_stall = (
+                                self._mlp_stall(cpu, epoch, now)
+                                if overlap else 0.0
                             )
-                        continue
-                    # Super-records run only for non-speculative epochs
-                    # (no mid-batch violations or sub-thread boundaries
-                    # possible) starting at a record boundary.
-                    if not epoch.speculative and epoch.offset == 0:
-                        self._do_batch(cpu, epoch, entry, now)
-                        continue
-            rec = records[cursor]
-            kind = rec[0]
-            if kind == Rec.COMPUTE:
-                self._do_compute(cpu, epoch, rec[1], Category.BUSY, now)
-            elif kind == Rec.TLS_OVERHEAD:
-                self._do_compute(cpu, epoch, rec[1], Category.OVERHEAD, now)
-            elif kind == Rec.OP:
-                cycles = cpu.pipeline.op_cycles(rec[1], rec[2])
-                # epoch.retire + epoch.accrue + _schedule, inlined.
-                epoch.instrs_since_checkpoint += rec[2]
-                cp = epoch.subthreads[-1]
-                cp.instructions += rec[2]
-                cp.pending.cycles[_BUSY] += cycles
-                epoch.cursor = cursor + 1
-                cpu.event_version += 1
-                _heappush(heap, (now + cycles, cpu_idx, cpu.event_version))
-            elif kind == Rec.BRANCH:
-                cycles = cpu.pipeline.branch_cycles(rec[1], rec[2])
-                epoch.instrs_since_checkpoint += 1
-                cp = epoch.subthreads[-1]
-                cp.instructions += 1
-                cp.pending.cycles[_BUSY] += cycles
-                epoch.cursor = cursor + 1
-                cpu.event_version += 1
-                _heappush(heap, (now + cycles, cpu_idx, cpu.event_version))
-            elif kind == Rec.LOAD:
-                self._do_load(cpu, epoch, rec, now)
-            elif kind == Rec.STORE:
-                self._do_store(cpu, epoch, rec, now)
-            elif kind == Rec.LATCH_ACQ:
-                self._do_latch_acquire(cpu, epoch, rec, now)
-            elif kind == Rec.LATCH_REL:
-                self._do_latch_release(cpu, epoch, rec, now)
-            else:
-                raise ValueError(f"unknown record kind {kind}")
+                            epoch.instrs_since_checkpoint += chunk
+                            cp.instructions += chunk
+                            if kind == Rec.COMPUTE:
+                                pending[_BUSY] += cycles
+                            else:
+                                pending[_OVERHEAD] += cycles
+                            if mlp_stall:
+                                pending[_MISS] += mlp_stall
+                                cycles += mlp_stall
+                            if epoch.offset + chunk >= count:
+                                epoch.cursor = cursor + 1
+                                epoch.offset = 0
+                            else:
+                                epoch.offset += chunk
+                            t_next = now + cycles
+                        elif kind == Rec.OP:
+                            cycles = pipeline.op_cycles(rec[1], rec[2])
+                            epoch.instrs_since_checkpoint += rec[2]
+                            cp.instructions += rec[2]
+                            pending[_BUSY] += cycles
+                            epoch.cursor = cursor + 1
+                            t_next = now + cycles
+                        elif kind == Rec.BRANCH:
+                            # pipeline.branch_cycles, inlined.
+                            pipeline.instructions_retired += 1
+                            if pipeline.predictor.predict_and_update(
+                                rec[1], rec[2]
+                            ):
+                                cycles = 1
+                            else:
+                                cycles = 1 + penalty
+                            epoch.instrs_since_checkpoint += 1
+                            cp.instructions += 1
+                            pending[_BUSY] += cycles
+                            epoch.cursor = cursor + 1
+                            t_next = now + cycles
+                        elif kind == Rec.LATCH_ACQ:
+                            self._do_latch_acquire(cpu, epoch, rec, now)
+                            break
+                        elif kind == Rec.LATCH_REL:
+                            self._do_latch_release(cpu, epoch, rec, now)
+                            break
+                        else:
+                            raise ValueError(
+                                f"unknown record kind {kind}"
+                            )
+                if t_next is None:
+                    break  # blocked, squashed, or rescheduled elsewhere
+                if heap:
+                    top = heap[0]
+                    if t_next > top[0] or (
+                        t_next == top[0] and cpu_idx > top[1]
+                    ):
+                        cpu.event_version += 1
+                        _heappush(
+                            heap, (t_next, cpu_idx, cpu.event_version)
+                        )
+                        break
+                # Our next event would be the very next pop: process it
+                # in-line instead of a push/pop round-trip.
+                if t_next > self.now:
+                    self.now = t_next
+                    self._proc_max_idx = cpu_idx
+                elif cpu_idx > self._proc_max_idx:
+                    self._proc_max_idx = cpu_idx
+                now = t_next
+                if journal.epoch is not None:
+                    journal.epoch = None  # batch completed in-line
+                continue
 
     def _start_next_epoch(self, cpu: _CPU, now: float) -> None:
         trace = self._pending[self._pending_idx]
@@ -436,7 +1124,7 @@ class Machine:
     # ------------------------------------------------------------------
 
     def _do_batch(self, cpu: _CPU, epoch: EpochExecution, entry,
-                  now: float) -> None:
+                  now: float) -> float:
         """Execute a compiled super-record (non-speculative epochs only).
 
         The static compute/op/overhead cycles were pre-summed at compile
@@ -447,7 +1135,11 @@ class Machine:
         epoch's intermediate events touch no cross-CPU state, collapsing
         them into one event leaves the global interleaving unchanged.
         """
-        _, end, busy, overhead, instrs, branches = entry
+        end = entry[1]
+        busy = entry[2]
+        overhead = entry[3]
+        instrs = entry[4]
+        branches = entry[5]
         pipeline = cpu.pipeline
         if branches:
             predict = pipeline.predictor.predict_and_update
@@ -465,9 +1157,123 @@ class Machine:
         if overhead:
             cp.pending.cycles[_OVERHEAD] += overhead
         epoch.cursor = end
-        cpu.event_version += 1
-        _heappush(self._heap,
-                  (now + busy + overhead, cpu.index, cpu.event_version))
+        return now + busy + overhead
+
+    def _do_batch_spec(self, cpu: _CPU, epoch: EpochExecution, entry,
+                       now: float, journal: _BatchJournal):
+        """Journaled super-record dispatch for a *speculative* epoch.
+
+        Returns the batch completion time, or None when the gate refuses
+        (the interpreted path would have sliced a record in the run or
+        opened a sub-thread checkpoint inside it — then the record is
+        interpreted normally and the next dispatch retries).
+
+        Before any state is touched the journal is armed: predictor
+        scalars are snapshotted, counter writes go through an undo log,
+        and the dispatch-time progress/accounting deltas are recorded.
+        If a violation squashes this epoch before the completion event
+        pops, ``_restore_batch_journal`` rolls all of it back and
+        replays, from the entry's per-record ``steps``, exactly the
+        prefix the interpreted path would have executed by then.
+        """
+        max_unit = entry[6]
+        spacing = self._subthread_spacing
+        if spacing is None:
+            spacing = self.engine.spacing_for(epoch)
+        limit = self._spec_slice_limit
+        if spacing < limit:
+            limit = spacing
+        if max_unit > limit:
+            return None  # a record in the run would be sliced
+        instrs = entry[4]
+        if (len(epoch.subthreads) < self._max_subthreads
+                and epoch.instrs_since_checkpoint + instrs > spacing):
+            return None  # a checkpoint boundary falls inside the run
+        pipeline = cpu.pipeline
+        busy = entry[2]
+        branches = entry[5]
+        log = journal.pred_log
+        log.clear()
+        journal.pred_snap = pipeline.predictor.journal()
+        if branches:
+            busy += pipeline.train_branch_run(branches, log)
+        overhead = entry[3]
+        end = entry[1]
+        journal.epoch = epoch
+        journal.start = epoch.cursor
+        journal.start_time = now
+        journal.steps = entry[7]
+        journal.instrs = instrs
+        journal.busy = busy
+        journal.overhead = overhead
+        pipeline.instructions_retired += instrs
+        epoch.instrs_since_checkpoint += instrs
+        cp = epoch.subthreads[-1]
+        cp.instructions += instrs
+        self._batched_records += end - epoch.cursor
+        self._spec_batches += 1
+        if busy:
+            cp.pending.cycles[_BUSY] += busy
+        if overhead:
+            cp.pending.cycles[_OVERHEAD] += overhead
+        epoch.cursor = end
+        return now + busy + overhead
+
+    def _restore_batch_journal(self, epoch) -> None:
+        """Rewind hook: undo an in-flight batch on ``epoch``, if any.
+
+        Called by the engine as the first action of a rewind, *before*
+        ``epoch.rewind_to`` captures Failed cycles, so the epoch's
+        progress and accounting match what the interpreted path would
+        show at this instant.  The dispatch-time mutations are undone
+        wholesale, then the records the interpreted path would already
+        have executed are replayed from the journal's ``steps``.
+
+        A step scheduled at time ``t`` has fired iff ``t < now``, or
+        ``t == now`` and a CPU with a higher index than ours has already
+        processed an event this cycle (events tie-break by CPU index, so
+        ours would have popped first).  ``_proc_max_idx`` tracks exactly
+        that census; it is reset per region, and a journal never spans
+        regions.
+        """
+        cpu = self.cpus[epoch.cpu]
+        journal = cpu.journal
+        if journal.epoch is not epoch:
+            return
+        journal.epoch = None
+        pipeline = cpu.pipeline
+        cp = epoch.subthreads[-1]
+        instrs = journal.instrs
+        pipeline.instructions_retired -= instrs
+        epoch.instrs_since_checkpoint -= instrs
+        cp.instructions -= instrs
+        if journal.busy:
+            cp.pending.cycles[_BUSY] -= journal.busy
+        if journal.overhead:
+            cp.pending.cycles[_OVERHEAD] -= journal.overhead
+        pipeline.predictor.restore(journal.pred_snap, journal.pred_log)
+        self._batched_records -= epoch.cursor - journal.start
+        self._batch_squashes += 1
+        # Interpreted-prefix replay.
+        now = self.now
+        fired_at_now = self._proc_max_idx > cpu.index
+        predict = pipeline.predictor.predict_and_update
+        penalty = pipeline._mispredict_penalty
+        pending = cp.pending.cycles
+        t = journal.start_time
+        cursor = journal.start
+        for n_instrs, cycles, is_overhead, branch in journal.steps:
+            if t > now or (t == now and not fired_at_now):
+                break
+            if branch is not None and not predict(branch[0], branch[1]):
+                cycles += penalty
+            pipeline.instructions_retired += n_instrs
+            epoch.instrs_since_checkpoint += n_instrs
+            cp.instructions += n_instrs
+            pending[_OVERHEAD if is_overhead else _BUSY] += cycles
+            t += cycles
+            cursor += 1
+        epoch.cursor = cursor
 
     def _mlp_stall(self, cpu: _CPU, epoch: EpochExecution,
                    now: float) -> float:
@@ -493,7 +1299,7 @@ class Machine:
         return 0.0
 
     def _do_compute(self, cpu: _CPU, epoch: EpochExecution, count: int,
-                    category: str, now: float) -> None:
+                    category: str, now: float) -> float:
         """Retire (part of) a COMPUTE batch.
 
         Large batches are consumed in slices no longer than the distance
@@ -536,8 +1342,7 @@ class Machine:
             epoch.offset = 0
         else:
             epoch.offset += chunk
-        cpu.event_version += 1
-        _heappush(self._heap, (now + cycles, cpu.index, cpu.event_version))
+        return now + cycles
 
     # ------------------------------------------------------------------
     # Memory references
@@ -724,11 +1529,13 @@ class Machine:
     # ------------------------------------------------------------------
 
     def _do_load_fast(self, cpu: _CPU, epoch: EpochExecution, rec,
-                      lines, now: float) -> None:
+                      lines, now: float):
         """Load with precompiled per-line tuples.
 
         Mirrors :meth:`_do_load` exactly, but the line walk, access
         clipping, and mask arithmetic were done once at compile time.
+        Returns the CPU's next event time, or None when blocked or
+        rescheduled elsewhere.
         """
         pc = rec[3]
         if cpu.sync_skip:
@@ -740,7 +1547,7 @@ class Machine:
                 if cost:
                     epoch.accrue(Category.OVERHEAD, cost)
                     self._schedule(cpu, now + cost)
-                    return
+                    return None
             if self.engine.should_synchronize_load(epoch, pc):
                 line = lines[0][0]
                 cpu.sync_line = line
@@ -748,7 +1555,7 @@ class Machine:
                 self._emit(now, STALL_BEGIN, epoch, detail="sync")
                 cpu.event_version += 1
                 self._sync_waiters.setdefault(line, []).append(cpu.index)
-                return
+                return None
         # epoch.retire(1), inlined (hot path).
         epoch.instrs_since_checkpoint += 1
         cp = epoch.subthreads[-1]
@@ -863,23 +1670,22 @@ class Machine:
                     stall = ready - now
                 # fill + mark_spec folded into one lookup.
                 l1.fill(line, spec=True, subidx=subidx, notified=exposed)
-        # epoch.accrue + _schedule, inlined.
+        # epoch.accrue, inlined.
         cp.pending.cycles[_BUSY] += 1
         if stall > 0:
             cp.pending.cycles[_MISS] += stall
         epoch.cursor += 1
-        cpu.event_version += 1
-        _heappush(self._heap,
-                  (now + 1 + stall, cpu.index, cpu.event_version))
+        return now + 1 + stall
 
     def _do_store_fast(self, cpu: _CPU, epoch: EpochExecution, rec,
-                       lines, now: float) -> None:
+                       lines, now: float):
         """Store with precompiled per-line tuples.
 
         Mirrors :meth:`_do_store`; additionally, region-private lines
         (only this epoch ever touches them) skip the violation scan in
         the L2 and the synchronized-load wakeup — both provably no-ops
-        for such lines.
+        for such lines.  Returns the CPU's next event time, or None when
+        a rewind of this epoch already rescheduled it.
         """
         pc = rec[3]
         # epoch.retire(1), inlined (hot path).
@@ -961,12 +1767,11 @@ class Machine:
         if self_rewound:
             # Our own state overflowed and we were squashed mid-record;
             # the rewind already rescheduled us.
-            return
-        # epoch.accrue + _schedule, inlined.
+            return None
+        # epoch.accrue, inlined.
         epoch.subthreads[-1].pending.cycles[_BUSY] += 1
         epoch.cursor += 1
-        cpu.event_version += 1
-        _heappush(self._heap, (now + 1, cpu.index, cpu.event_version))
+        return now + 1
 
     # ------------------------------------------------------------------
     # Latches (escaped speculation)
@@ -1131,6 +1936,22 @@ class Machine:
             # The re-started sub-thread begins (again) at the restart
             # instant; future rewinds to it charge from here.
             epoch.current_subthread.start_cycle = restart
+            self._overflow_parked.pop(epoch.cpu, None)
+            if action.overflow and epoch.order > self.engine.commit_horizon:
+                horizon = self.engine.commit_horizon
+                if self._overflow_seen.get(epoch.order) == horizon:
+                    # Second overflow with no commit progress in
+                    # between: the squash is deterministic and will
+                    # recur, so park the epoch until the horizon
+                    # advances (the stall gap is accounted as Idle).
+                    # The oldest uncommitted epoch is never parked —
+                    # it is what advances the horizon.
+                    vcpu.event_version += 1
+                    self._overflow_parked[epoch.cpu] = (epoch, restart)
+                    for winner in winners:
+                        self._grant_latch(winner, now)
+                    continue
+                self._overflow_seen[epoch.order] = horizon
             self._schedule(vcpu, restart)
             for winner in winners:
                 self._grant_latch(winner, now)
@@ -1155,10 +1976,13 @@ class Machine:
         # An epoch finishing/committing may unblock synchronized loads
         # that were waiting out earlier epochs.
         self._wake_eligible_sync_waiters(now)
+        if committed:
+            self._wake_overflow_parked(now)
         for done in committed:
             if self.observer is not None:
                 self.observer.on_commit(done)
             self._emit(now, COMMIT, done)
+            self._overflow_seen.pop(done.order, None)
             dcpu = self.cpus[done.cpu]
             dcpu.totals.merge(done.drain_pending())
             dcpu.l1.clear_spec_marks()
@@ -1172,6 +1996,32 @@ class Machine:
                     )
                     self._start_next_epoch(dcpu, now + spawn)
 
+    def _wake_overflow_parked(self, now: float) -> None:
+        """Retry epochs stalled on repeated overflow squashes.
+
+        Called when the commit horizon advances: the committed epoch's
+        speculative lines are gone, so a parked epoch's next attempt
+        has a chance.  If it overflows again at the *new* horizon it
+        parks again (``_apply_rewinds``), so each epoch retries at most
+        once per commit — forward progress is paced by the homefree
+        epoch, which is never parked.
+        """
+        if not self._overflow_parked:
+            return
+        parked = self._overflow_parked
+        self._overflow_parked = {}
+        for cpu_idx in sorted(parked):
+            epoch, restart = parked[cpu_idx]
+            cpu = self.cpus[cpu_idx]
+            if cpu.epoch is not epoch:
+                continue
+            t = restart if restart > now else now
+            # The stall gap [restart, t] is unattributed and therefore
+            # lands in Idle; failed-cycle charging resumes from the
+            # actual re-start instant.
+            epoch.current_subthread.start_cycle = t
+            self._schedule(cpu, t)
+
     # ------------------------------------------------------------------
     # Deadlock safety net
     # ------------------------------------------------------------------
@@ -1183,6 +2033,13 @@ class Machine:
         this unreachable; if it happens we violate a speculative latch
         *holder* so the waiters can progress, keeping the simulation sound.
         """
+        if self._overflow_parked:
+            # Overflow-stalled epochs are woken on commit; if the region
+            # has otherwise run dry (e.g. every live epoch is parked),
+            # retrying them is always sound — parking is a scheduling
+            # choice, not a protocol state.
+            self._wake_overflow_parked(self.now)
+            return
         blocked_sync = [
             cpu for cpu in self.cpus
             if cpu.sync_line is not None and cpu.epoch is not None
@@ -1265,6 +2122,9 @@ class Machine:
             ("compile.fastpath_stores", lambda: self._fast_stores),
             ("compile.private_line_stores",
              lambda: self._private_stores),
+            ("compile.spec_batches", lambda: self._spec_batches),
+            ("compile.batch_squashes", lambda: self._batch_squashes),
+            ("compile.region_cache_reuses", lambda: self._compile_reuses),
         ])
         return registry
 

@@ -127,11 +127,28 @@ class EpochTrace:
         return [r for r in self.records if r[0] in (Rec.LOAD, Rec.STORE)]
 
 
+def _segment_getstate(self) -> dict:
+    """Pickle segments without their attached compiled-entry cache.
+
+    The machine caches lowered entry lists on the segment object
+    (``_compile_cache``, see repro.trace.compile).  They are a pure
+    function of the records and are rebuilt — or found in the
+    process-wide region memo — wherever the trace lands, so shipping a
+    trace to a harness worker must not serialize them per job.
+    """
+    state = self.__dict__
+    if "_compile_cache" in state:
+        state = {k: v for k, v in state.items() if k != "_compile_cache"}
+    return state
+
+
 @dataclass
 class SerialSegment:
     """A non-parallelized stretch of the transaction (runs on one CPU)."""
 
     records: List[Record] = field(default_factory=list)
+
+    __getstate__ = _segment_getstate
 
     @property
     def instruction_count(self) -> int:
@@ -143,6 +160,8 @@ class ParallelRegion:
     """A parallelized loop: an ordered list of epochs."""
 
     epochs: List[EpochTrace] = field(default_factory=list)
+
+    __getstate__ = _segment_getstate
 
     @property
     def instruction_count(self) -> int:

@@ -17,6 +17,13 @@ then bisect record lists) and writes a self-contained JSON repro file —
 the minimized trace in :mod:`repro.trace.serialize` format plus the full
 machine configuration — which ``--repro FILE`` replays directly.
 
+``--profile high-violation`` biases both draws toward squash pressure:
+epochs contend almost entirely on the shared hot words, the L2 is drawn
+tiny (overflow squashes), and the TLS config always has many sub-thread
+contexts at tight spacing — the regime that exercises the journaled
+speculative-batch rewind path hardest (every mid-flight squash of a
+dispatched batch must restore predictor/counter/progress state exactly).
+
 Exit status is 0 when every seed passes, 1 otherwise, so CI can run a
 fixed seed batch as a regression gate.
 """
@@ -68,8 +75,14 @@ _PC_BASE = 0x0040_0000
 # ----------------------------------------------------------------------
 
 
+#: Named generator biases.  ``high-violation`` is the squash-pressure
+#: regime: small L2, many sub-threads, shared-word-heavy epochs.
+PROFILES = ("default", "high-violation")
+
+
 def _random_records(
-    rng: random.Random, owner: int, n_ops: int
+    rng: random.Random, owner: int, n_ops: int,
+    shared_bias: float = 0.55,
 ) -> List[tuple]:
     """A record list mixing compute, shared/private memory ops, latches.
 
@@ -95,7 +108,7 @@ def _random_records(
             )
         elif roll < 0.85:
             kind = Rec.LOAD if rng.random() < 0.6 else Rec.STORE
-            if rng.random() < 0.55:
+            if rng.random() < shared_bias:
                 addr = rng.choice(_SHARED_WORDS)
             else:
                 addr = _AMAP.app_scratch_addr(
@@ -121,7 +134,12 @@ def _random_records(
     return records
 
 
-def random_workload(rng: random.Random) -> WorkloadTrace:
+def random_workload(
+    rng: random.Random, profile: str = "default"
+) -> WorkloadTrace:
+    high_violation = profile == "high-violation"
+    shared_bias = 0.85 if high_violation else 0.55
+    min_ops, max_ops = (12, 60) if high_violation else (4, 40)
     workload = WorkloadTrace(name="fuzz")
     for t in range(rng.randint(1, 2)):
         txn = TransactionTrace(name=f"FUZZ-{t}")
@@ -135,7 +153,9 @@ def random_workload(rng: random.Random) -> WorkloadTrace:
                     EpochTrace(
                         epoch_id=e,
                         records=_random_records(
-                            rng, owner=e, n_ops=rng.randint(4, 40)
+                            rng, owner=e,
+                            n_ops=rng.randint(min_ops, max_ops),
+                            shared_bias=shared_bias,
                         ),
                     )
                     for e in range(n_epochs)
@@ -149,20 +169,33 @@ def random_workload(rng: random.Random) -> WorkloadTrace:
     return workload
 
 
-def random_machine_config(rng: random.Random) -> MachineConfig:
+def random_machine_config(
+    rng: random.Random, profile: str = "default"
+) -> MachineConfig:
     """A random (but always geometrically valid) machine configuration.
 
     Caches are drawn tiny so evictions, victim-cache spills, and
-    overflow squashes actually happen on short fuzz traces.
+    overflow squashes actually happen on short fuzz traces.  The
+    ``high-violation`` profile pins the draws at the squashy end: the
+    smallest L2 geometries (speculative state overflows constantly) and
+    always-many sub-thread contexts at tight spacing, so nearly every
+    speculative batch dispatch races a rewind.
     """
+    high_violation = profile == "high-violation"
     line_size = rng.choice((16, 32, 64))
     l1_assoc = rng.choice((1, 2, 4))
     l1_sets = rng.choice((4, 8, 16))
-    l2_assoc = rng.choice((2, 4))
-    l2_sets = rng.choice((8, 16, 32))
+    l2_assoc = 2 if high_violation else rng.choice((2, 4))
+    l2_sets = rng.choice((4, 8)) if high_violation else rng.choice((8, 16, 32))
     tls = TLSConfig(
-        max_subthreads=rng.choice((1, 2, 4, 8)),
-        subthread_spacing=rng.choice((10, 25, 100)),
+        max_subthreads=(
+            rng.choice((4, 8, 8)) if high_violation
+            else rng.choice((1, 2, 4, 8))
+        ),
+        subthread_spacing=(
+            rng.choice((10, 25)) if high_violation
+            else rng.choice((10, 25, 100))
+        ),
         spec_slice_limit=rng.choice((25, 100)),
         adaptive_spacing=rng.random() < 0.3,
         subthread_start_cost=rng.choice((0, 0, 5)),
@@ -181,7 +214,10 @@ def random_machine_config(rng: random.Random) -> MachineConfig:
         l1_assoc=l1_assoc,
         l2_size=l2_assoc * l2_sets * line_size,
         l2_assoc=l2_assoc,
-        victim_entries=rng.choice((0, 2, 8, 64)),
+        victim_entries=(
+            rng.choice((0, 2)) if high_violation
+            else rng.choice((0, 2, 8, 64))
+        ),
         pipeline=PipelineConfig(),
         tls=tls,
         overlap_loads=rng.random() < 0.3,
@@ -424,11 +460,12 @@ def run_seed(
     seed: int,
     check_invariants: bool = False,
     out_dir: Optional[Path] = None,
+    profile: str = "default",
 ) -> List[str]:
     """Fuzz one seed through every execution mode; returns failures."""
     rng = random.Random(seed)
-    workload = random_workload(rng)
-    base = random_machine_config(rng)
+    workload = random_workload(rng, profile=profile)
+    base = random_machine_config(rng, profile=profile)
     failures: List[str] = []
     try:
         assert_clean(workload)
@@ -469,6 +506,10 @@ def main(argv=None) -> int:
                         help="first seed (default 0)")
     parser.add_argument("--check-invariants", action="store_true",
                         help="also run the cycle-level invariant checker")
+    parser.add_argument("--profile", choices=PROFILES, default="default",
+                        help="generator bias; high-violation draws small "
+                             "L2s, many sub-threads, and shared-word-"
+                             "heavy epochs (squash-pressure regime)")
     parser.add_argument("--out", type=Path, default=Path("fuzz-failures"),
                         metavar="DIR",
                         help="directory for minimized repro files")
@@ -491,6 +532,7 @@ def main(argv=None) -> int:
             seed,
             check_invariants=args.check_invariants,
             out_dir=args.out,
+            profile=args.profile,
         )
         if failures:
             all_failures.extend(failures)

@@ -59,7 +59,7 @@ class TestBatches:
         ]
         comp = compile_region([_epoch(records)], _l2(), PipelineConfig())
         entries = comp.epochs[0]
-        kind, end, busy, overhead, instrs, branches = entries[0]
+        kind, end, busy, overhead, instrs, branches = entries[0][:6]
         assert kind == BATCH
         assert end == len(records)
         assert entries[1:] == [None] * (len(records) - 1)
@@ -81,7 +81,7 @@ class TestBatches:
     def test_tls_overhead_summed_separately(self):
         records = [(Rec.COMPUTE, 8), (Rec.TLS_OVERHEAD, 5)]
         comp = compile_region([_epoch(records)], _l2(), PipelineConfig())
-        _, _, busy, overhead, instrs, _ = comp.epochs[0][0]
+        _, _, busy, overhead, instrs, _ = comp.epochs[0][0][:6]
         pipeline = CorePipeline(PipelineConfig())
         assert busy == pipeline.compute_cycles(8)
         assert overhead == pipeline.compute_cycles(5)
@@ -97,7 +97,7 @@ class TestBatches:
             (Rec.BRANCH, 0x400020, False),
         ]
         comp = compile_region([_epoch(records)], _l2(), PipelineConfig())
-        _, end, busy, _, instrs, branches = comp.epochs[0][0]
+        _, end, busy, _, instrs, branches = comp.epochs[0][0][:6]
         assert end == 3
         assert busy == 1 + 2  # 4 instrs / width 4, plus 1 per branch
         assert instrs == 6

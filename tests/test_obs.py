@@ -310,6 +310,39 @@ class TestTracedRunner:
         assert "Hottest dependences" in report
         assert "0x400200" in report
 
+    def test_report_groups_cycles_per_mode(self, tmp_path):
+        # A log mixing execution modes must not sum their Figure-5
+        # breakdowns together: each mode gets its own bar, in mode order.
+        path = tmp_path / "run.jsonl"
+        tracer = SpanTracer(
+            path, manifest=build_manifest(config={"experiment": "test"})
+        )
+        runner = JobRunner(jobs=1, trace_cache=None, tracer=tracer)
+        jobs = [
+            SimJob(config=MachineConfig.for_mode(mode),
+                   trace=tiny_workload())
+            for mode in ("tls_seq", "baseline")
+        ]
+        runner.run(jobs)
+        tracer.close()
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        modes = [
+            r["attrs"].get("mode") for r in records
+            if r["type"] == "counter" and r["name"] == "sim.stats"
+        ]
+        assert modes == ["tls_seq", "baseline"]
+        report = render_report(path)
+        assert "per mode" in report
+        assert "tls_seq" in report and "baseline" in report
+        # tls_seq serializes on one CPU: its idle fraction dwarfs the
+        # baseline's, which a cross-mode sum would have hidden.  Both
+        # mode rows are present in the per-mode cycle table.
+        lines = [ln for ln in report.splitlines() if "idle" in ln]
+        assert any("tls_seq" in ln for ln in lines)
+        assert any("baseline" in ln for ln in lines)
+
     def test_untraced_machine_identical(self):
         # Tracing changes observation only, never simulation results.
         plain = Machine(MachineConfig()).run(tiny_workload())
