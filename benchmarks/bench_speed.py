@@ -48,7 +48,7 @@ from repro.harness.export import result_to_dict  # noqa: E402
 from repro.obs import atomic_write_json, build_manifest, finish_manifest  # noqa: E402
 from repro.harness.figure5 import run_figure5  # noqa: E402
 from repro.harness.figure6 import run_figure6  # noqa: E402
-from repro.harness.tracecache import TraceSpec, materialize  # noqa: E402
+from repro.harness.tracecache import TraceSpec, materialize, spec_key  # noqa: E402
 from repro.sim import ExecutionMode, Machine, MachineConfig  # noqa: E402
 from repro.tpcc import TPCCScale  # noqa: E402
 from repro.trace.events import (  # noqa: E402
@@ -82,22 +82,40 @@ def run_sweep(ctx: ExperimentContext):
     return run_figure5(ctx), run_figure6(ctx)
 
 
-def time_harness(args, jobs: int):
-    """Time figure5+figure6 once with the given fan-out."""
+def time_harness(args, jobs: int, spec_keys: set):
+    """Time figure5+figure6 once with the given fan-out.
+
+    Every trace the runner materializes is recorded into ``spec_keys``
+    so the manifest's ``trace_spec_keys`` provenance survives the bench
+    bypassing the harness CLI.
+    """
     ctx = make_context(args, jobs)
     # Warm the trace memo outside the timed region: both the serial and
     # the parallel configuration then measure pure simulation time.
     run_sweep(ctx)
     t0 = time.perf_counter()
     results = run_sweep(ctx)
-    return time.perf_counter() - t0, results
+    elapsed = time.perf_counter() - t0
+    spec_keys.update(ctx.runner.trace_spec_keys())
+    return elapsed, results
 
 
-def time_inner_loop(args, compile_traces: bool = True):
-    """Records/second of one Machine.run on a TLS workload."""
+def time_inner_loop(args, compile_traces: bool = True,
+                    columnar: bool = True):
+    """Records/second of one Machine.run on a TLS workload.
+
+    ``--warmup`` repetitions run first and are excluded from the
+    best-of: the first run pays one-time costs (trace compilation into
+    the process-wide memo, branch-predictor warm allocation) that are
+    not inner-loop throughput.
+    """
     trace = materialize(_bench_spec(args), cache_dir=None)
     records = count_records(trace)
-    config = MachineConfig(compile_traces=compile_traces)
+    config = MachineConfig(
+        compile_traces=compile_traces, columnar=columnar
+    )
+    for _ in range(max(0, args.warmup)):
+        Machine(config).run(trace)
     best = float("inf")
     for _ in range(max(1, args.repeat)):
         machine = Machine(config)
@@ -118,23 +136,32 @@ def _bench_spec(args) -> TraceSpec:
 
 
 def time_speculative_scenario(args):
-    """Figure-5 TLS sub-thread (baseline) mode, three ways.
+    """Figure-5 TLS sub-thread (baseline) mode, four ways.
 
-    Returns ``(records, {"spec_on": s, "spec_off": s, "interpreted": s})``
-    with best-of-``--repeat`` seconds per variant.  One Machine per
-    timing (compile caches are process-wide, so compilation cost is
-    amortized exactly as in the harness); the variants run interleaved
-    inside each repetition so slow drift of the host clock speed hits
-    all three equally.
+    Returns ``(records, best)`` where ``best`` maps ``spec_on`` (the
+    default: journaled batches + columnar bulk loads), ``columnar_off``
+    (batches without the columnar resolver), ``spec_off`` (batching
+    restricted to non-speculative epochs), and ``interpreted`` to
+    best-of-``--repeat`` seconds.  One Machine per timing (compile
+    caches are process-wide, so compilation cost is amortized exactly
+    as in the harness); the variants run interleaved inside each
+    repetition so slow drift of the host clock speed hits all equally,
+    and ``--warmup`` interleaved repetitions are discarded first.
     """
     trace = materialize(_bench_spec(args), cache_dir=None)
     records = count_records(trace)
     base = MachineConfig.for_mode(ExecutionMode.BASELINE)
+    if args.no_columnar:
+        base = dataclasses.replace(base, columnar=False)
     variants = {
         "spec_on": base,
+        "columnar_off": dataclasses.replace(base, columnar=False),
         "spec_off": dataclasses.replace(base, speculative_batches=False),
         "interpreted": dataclasses.replace(base, compile_traces=False),
     }
+    for _ in range(max(0, args.warmup)):
+        for config in variants.values():
+            Machine(config).run(trace)
     best = {name: float("inf") for name in variants}
     for _ in range(max(1, args.repeat)):
         for name, config in variants.items():
@@ -216,9 +243,21 @@ def main(argv=None) -> int:
     parser.add_argument("--repeat", type=int, default=3,
                         help="inner-loop timing repetitions (best-of)")
     parser.add_argument(
+        "--warmup", type=int, default=1, metavar="N",
+        help=("untimed repetitions before each best-of measurement "
+              "(default 1; they absorb one-time compile/allocation "
+              "costs so the best-of measures steady state)"),
+    )
+    parser.add_argument(
         "--no-compile-traces", action="store_true",
         help=("time only the interpreted simulator path (skip the "
               "compiled-path measurement)"),
+    )
+    parser.add_argument(
+        "--no-columnar", action="store_true",
+        help=("disable the columnar bulk load resolver in the timed "
+              "configurations (the speculative scenario then times "
+              "spec_on with columnar off too)"),
     )
     parser.add_argument(
         "--out", type=pathlib.Path,
@@ -258,18 +297,26 @@ def main(argv=None) -> int:
             "scale": "tiny" if args.tiny else "default",
             "jobs": jobs,
             "repeat": args.repeat,
+            "warmup": args.warmup,
             "compile_traces": not args.no_compile_traces,
+            "columnar": not args.no_columnar,
         },
         seed=args.seed,
     )
+    # Content-hash keys of every trace the bench touches (harness
+    # sweeps and the direct materialize calls); threaded into every
+    # manifest this run writes.
+    spec_keys: set = {spec_key(_bench_spec(args))}
 
     print("timing serial harness (figure5+figure6, jobs=1) ...")
-    serial_s, serial_results = time_harness(args, jobs=1)
+    serial_s, serial_results = time_harness(args, jobs=1, spec_keys=spec_keys)
     print(f"  {serial_s:.2f}s")
 
     if jobs > 1:
         print(f"timing parallel harness (jobs={jobs}) ...")
-        parallel_s, parallel_results = time_harness(args, jobs=jobs)
+        parallel_s, parallel_results = time_harness(
+            args, jobs=jobs, spec_keys=spec_keys
+        )
         print(f"  {parallel_s:.2f}s")
         identical = (
             result_to_dict(serial_results)
@@ -299,7 +346,8 @@ def main(argv=None) -> int:
           if not args.no_compile_traces
           else "timing simulator inner loop (interpreted) ...")
     records, inner_s = time_inner_loop(
-        args, compile_traces=not args.no_compile_traces
+        args, compile_traces=not args.no_compile_traces,
+        columnar=not args.no_columnar,
     )
     records_per_s = records / inner_s if inner_s > 0 else 0.0
     print(f"  {records} records in {inner_s:.2f}s "
@@ -310,6 +358,7 @@ def main(argv=None) -> int:
         "seconds": round(inner_s, 3),
         "records_per_second": round(records_per_s, 1),
         "compile_traces": not args.no_compile_traces,
+        "columnar": not args.no_columnar,
     }
     if not args.no_compile_traces:
         print("timing simulator inner loop (interpreted, for reference) ...")
@@ -321,7 +370,7 @@ def main(argv=None) -> int:
         inner_loop["interpreted_records_per_second"] = round(interp_rps, 1)
 
     print("timing speculative scenario (TLS sub-thread mode, "
-          "batches on / off / interpreted) ...")
+          "columnar on / off, batches off, interpreted) ...")
     spec_records, spec_times = time_speculative_scenario(args)
     spec_rps = {
         name: spec_records / s if s > 0 else 0.0
@@ -335,19 +384,29 @@ def main(argv=None) -> int:
         spec_rps["spec_on"] / spec_rps["interpreted"]
         if spec_rps["interpreted"] else None
     )
-    for name in ("spec_on", "spec_off", "interpreted"):
+    ratio_vs_columnar_off = (
+        spec_rps["spec_on"] / spec_rps["columnar_off"]
+        if spec_rps["columnar_off"] else None
+    )
+    for name in ("spec_on", "columnar_off", "spec_off", "interpreted"):
         print(f"  {name:<12} {spec_records} records in "
               f"{spec_times[name]:.2f}s ({spec_rps[name]:,.0f} records/s)")
-    print(f"  on/off {ratio_vs_off:.2f}x   on/interpreted "
+    print(f"  on/columnar_off {ratio_vs_columnar_off:.2f}x   "
+          f"on/off {ratio_vs_off:.2f}x   on/interpreted "
           f"{ratio_vs_interp:.2f}x")
     speculative = {
         "mode": ExecutionMode.BASELINE,
         "records": spec_records,
         "records_per_second": round(spec_rps["spec_on"], 1),
+        "columnar_off_records_per_second": round(
+            spec_rps["columnar_off"], 1
+        ),
         "spec_off_records_per_second": round(spec_rps["spec_off"], 1),
         "interpreted_records_per_second": round(
             spec_rps["interpreted"], 1
         ),
+        "ratio_vs_columnar_off": round(ratio_vs_columnar_off, 3)
+        if ratio_vs_columnar_off else None,
         "ratio_vs_spec_off": round(ratio_vs_off, 3)
         if ratio_vs_off else None,
         "ratio_vs_interpreted": round(ratio_vs_interp, 3)
@@ -377,7 +436,8 @@ def main(argv=None) -> int:
         "inner_loop": inner_loop,
         "speculative_scenario": speculative,
         "manifest": finish_manifest(
-            manifest, time.perf_counter() - bench_t0
+            manifest, time.perf_counter() - bench_t0,
+            trace_spec_keys=sorted(spec_keys),
         ),
     }
     atomic_write_json(args.out, perf)
@@ -386,7 +446,8 @@ def main(argv=None) -> int:
     status = 0 if (identical and spec_gate_ok) else 1
     if args.trajectory is not None:
         final_manifest = finish_manifest(
-            manifest, time.perf_counter() - bench_t0
+            manifest, time.perf_counter() - bench_t0,
+            trace_spec_keys=sorted(spec_keys),
         )
         entries = [
             {
@@ -396,6 +457,7 @@ def main(argv=None) -> int:
                 "records": records,
                 "records_per_second": round(records_per_s, 1),
                 "compile_traces": not args.no_compile_traces,
+                "columnar": not args.no_columnar,
                 "python": platform.python_version(),
                 "manifest": final_manifest,
             },
@@ -406,10 +468,14 @@ def main(argv=None) -> int:
                 "mode": ExecutionMode.BASELINE,
                 "records": spec_records,
                 "records_per_second": speculative["records_per_second"],
+                "columnar_off_records_per_second":
+                    speculative["columnar_off_records_per_second"],
                 "spec_off_records_per_second":
                     speculative["spec_off_records_per_second"],
                 "interpreted_records_per_second":
                     speculative["interpreted_records_per_second"],
+                "ratio_vs_columnar_off":
+                    speculative["ratio_vs_columnar_off"],
                 "ratio_vs_spec_off": speculative["ratio_vs_spec_off"],
                 "ratio_vs_interpreted":
                     speculative["ratio_vs_interpreted"],

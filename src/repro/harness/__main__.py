@@ -143,6 +143,16 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--no-columnar",
+        action="store_true",
+        help=(
+            "disable the columnar bulk load resolver (repro.memory."
+            "columnar) and dispatch every compiled load through the "
+            "scalar reference path; escape hatch — results are "
+            "byte-identical either way"
+        ),
+    )
+    parser.add_argument(
         "--trace-out",
         type=pathlib.Path,
         default=None,
@@ -195,6 +205,8 @@ def main(argv=None) -> int:
         overrides["check_invariants"] = True
     if args.no_compile_traces:
         overrides["compile_traces"] = False
+    if args.no_columnar:
+        overrides["columnar"] = False
     runner = JobRunner(
         jobs=args.jobs if args.jobs > 0 else (os.cpu_count() or 1),
         trace_cache=cache_dir,
@@ -280,6 +292,7 @@ def main(argv=None) -> int:
             "scale": args.scale or ("tiny" if args.tiny else "default"),
             "jobs": runner.jobs,
             "compile_traces": not args.no_compile_traces,
+            "columnar": not args.no_columnar,
             "check_invariants": args.check_invariants,
         },
         seed=args.seed,

@@ -1,0 +1,174 @@
+"""Columnar bulk resolution of compiled memory-access runs.
+
+The compiled-dispatch inner loop (``Machine._run_region``) pays a fixed
+per-record toll even for the cheapest possible memory access — an L1
+load hit that the L2 was already notified about: cursor bookkeeping,
+sub-thread checkpoint tests, the heap chain test, and the per-line tuple
+walk.  At the measured event rates that toll is roughly half the cost of
+the access.
+
+This module removes it for the one access class where doing so is
+provably invisible.  At compile time (:func:`build_block`, called from
+``repro.trace.compile``) each maximal run of consecutive single-line
+LOAD records is lowered into a *columnar block*: the per-record interned
+``(line, sub_addr, word_mask, load_bits, private)`` tuples transposed
+into parallel ``lines`` / ``word_masks`` columns (a numpy structured
+array is attached for long runs when numpy is importable; the plain
+tuples are the always-present pure-Python form, so numpy stays an
+optional dependency).  At dispatch time (:func:`resolve_loads`) the
+machine hands the block to one call that scans the run's *bulk-eligible
+prefix* and applies its effects in one pass:
+
+* a load is bulk-eligible when its line is **L1-resident** and — for a
+  speculative epoch — the L1 line is already ``notified`` (the L2 holds
+  the epoch's speculative-load bit) or the epoch's own earlier stores
+  cover every loaded word (the load is not exposed).  Such a load
+  touches *no* L2, TLS-engine, or bank state: its complete architectural
+  effect is one L1 hit plus an LRU touch, both applied here in access
+  order, so resolving ``m`` of them in bulk is byte-identical to ``m``
+  interpreted steps;
+* the first access that misses this test ends the prefix — misses,
+  exposed loads, and everything needing the event-driven protocol
+  (violation scans, version selection, victim-cache traffic) remain the
+  *scalar residue*, dispatched by the reference path in
+  ``sim/machine.py`` / ``memory/l2.py`` exactly as before.
+
+Eligibility is tested against the caches' *columnar tag mirrors* — the
+L1's ``resident`` / ``_notified_tags`` tag sets and (indirectly, by
+keeping loads that would need it out of the bulk set) the L2's
+per-line version index — which ``memory/l1.py`` / ``memory/l2.py``
+maintain transactionally at every fill/evict/squash/commit, so a squash
+landing between bulk batches always observes an exact mirror.
+
+The caller bounds the scan (``max_n``) so that every access the bulk
+pass commits would also have been admitted by the machine's chain
+condition and sub-thread spacing gate; any prefix length within that
+bound is sound, which is what lets the numpy pre-screen under-approximate
+without a correctness obligation.
+
+``REPRO_NO_NUMPY=1`` in the environment forces the pure-Python path even
+when numpy is installed (CI uses it to prove the fallback).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+_np = None
+if os.environ.get("REPRO_NO_NUMPY") != "1":
+    try:  # pragma: no cover - exercised via the numpy-absent CI leg
+        import numpy as _np
+    except ImportError:
+        _np = None
+
+#: Attach a numpy structured array to blocks at least this long (the
+#: per-call ufunc overhead needs a long run to amortize; measured
+#: consecutive-load runs in the benchmark workloads are far shorter, so
+#: the tuples path is the primary one even with numpy installed).
+NUMPY_MIN_BLOCK = int(os.environ.get("REPRO_COLUMNAR_NUMPY_MIN", "64"))
+
+#: A resolve call vectorizes its eligibility pre-screen only for spans
+#: at least this long (same crossover reasoning as NUMPY_MIN_BLOCK).
+NUMPY_MIN_SPAN = NUMPY_MIN_BLOCK
+
+#: Columnar block: ``(lines, word_masks, structured-array-or-None)``.
+#: The two tuples are parallel to the run's records.
+Block = Tuple[tuple, tuple, object]
+
+
+def numpy_enabled() -> bool:
+    """True when blocks may carry numpy columns (import + env gate)."""
+    return _np is not None
+
+
+def build_block(line_tuples) -> Block:
+    """Transpose a run of single-line access tuples into columns.
+
+    ``line_tuples`` is the run's per-record interned ``(line, sub_addr,
+    word_mask, load_bits, private)`` entries, one per record.  The
+    returned block always carries the pure-Python parallel tuples; a
+    numpy structured array (fields ``line`` / ``mask``) is attached for
+    long runs when numpy is available, feeding the vectorized
+    eligibility pre-screen in :func:`resolve_loads`.
+    """
+    lines = tuple(t[0] for t in line_tuples)
+    masks = tuple(t[2] for t in line_tuples)
+    arr = None
+    if _np is not None and len(lines) >= NUMPY_MIN_BLOCK:
+        try:
+            arr = _np.array(
+                list(zip(lines, masks)),
+                dtype=[("line", "<u8"), ("mask", "<u8")],
+            )
+        except (OverflowError, ValueError):
+            arr = None  # addresses/masks beyond uint64: tuples only
+    return (lines, masks, arr)
+
+
+def resolve_loads(
+    block: Block,
+    off: int,
+    max_n: int,
+    resident: set,
+    notified: Optional[set],
+    su: Optional[dict],
+    l1_sets: dict,
+    set_shift: int,
+    set_mask: int,
+) -> int:
+    """Resolve the bulk-eligible prefix of a load run; returns its length.
+
+    Scans ``block`` from ``off`` for at most ``max_n`` accesses and, for
+    each eligible one *in access order*, applies its complete effect: an
+    LRU touch of the line's L1 set.  (The caller applies the aggregate
+    counters — L1 hits, instruction/cycle accounting — from the returned
+    count.)  The scan stops at the first access that is not an eligible
+    hit; that access and everything after it are left untouched for the
+    scalar reference path.
+
+    ``notified`` is the L1's ``_notified_tags`` mirror and ``su`` the
+    epoch's store-mask union; both are None for non-speculative epochs,
+    where residency alone makes a load eligible.
+    """
+    lines, wmasks, arr = block
+    end = off + max_n
+    i = off
+    # Vectorized pre-screen for long spans: one pass computes the prefix
+    # whose lines are eligible *independently of per-access masks*
+    # (resident, and for speculative epochs already notified), so the
+    # commit loop below can skip the per-access membership tests for it.
+    # Lines eligible only through store-union coverage fall out of the
+    # pre-screen and are picked up by the exact per-access tests — a
+    # shorter prefix is merely less bulk, never an error.
+    fast_until = off
+    if arr is not None and max_n >= NUMPY_MIN_SPAN:
+        seg = arr["line"][off:end]
+        ok = [
+            u for u in _np.unique(seg).tolist()
+            if u in resident and (notified is None or u in notified)
+        ]
+        if ok:
+            elig = _np.isin(
+                seg, _np.fromiter(ok, dtype=seg.dtype, count=len(ok))
+            )
+            if elig.all():
+                fast_until = end
+            else:
+                fast_until = off + int(_np.argmin(elig))
+    while i < end:
+        line = lines[i]
+        if i >= fast_until:
+            if line not in resident:
+                break
+            if su is not None and line not in notified:
+                written = su.get(line)
+                if written is None or (wmasks[i] & ~written):
+                    break
+        # l1.access hit, in order: refresh the set's LRU position.
+        order_l = l1_sets[(line >> set_shift) & set_mask]._order
+        if order_l[-1] != line:
+            order_l.remove(line)
+            order_l.append(line)
+        i += 1
+    return i - off

@@ -141,8 +141,15 @@ class L2Set:
         return [e for e in self._entries if e.tag == tag]
 
     def touch(self, entry: L2Entry) -> None:
-        self._entries.remove(entry)
-        self._entries.append(entry)
+        # Identity-based: L2Entry is a value-comparing dataclass and
+        # distinct versions can transiently compare equal (e.g. two
+        # committed copies mid-merge); LRU must move *this* object.
+        for i, e in enumerate(self._entries):
+            if e is entry:
+                self._entries.pop(i)
+                self._entries.append(entry)
+                return
+        raise ValueError("entry not in set")
 
     def add(self, entry: L2Entry) -> None:
         if len(self._entries) >= self.assoc:
@@ -150,7 +157,11 @@ class L2Set:
         self._entries.append(entry)
 
     def remove(self, entry: L2Entry) -> None:
-        self._entries.remove(entry)
+        for i, e in enumerate(self._entries):
+            if e is entry:
+                del self._entries[i]
+                return
+        raise ValueError("entry not in set")
 
     def is_full(self) -> bool:
         return len(self._entries) >= self.assoc
@@ -221,6 +232,18 @@ class SpeculativeL2:
         self._offset_mask = geometry.offset_mask
         self._full_line_mask = full_mask(self.n_words)
         self.victim = VictimCache(capacity=victim_entries)
+        #: Columnar mirror of the on-chip tag state: line tag -> every
+        #: on-chip version of the line (its set's ways plus the victim
+        #: cache), in installation order.  Maintained transactionally at
+        #: the three points where an entry joins or leaves the chip
+        #: (``_install`` / ``_handle_overflow`` / ``_drop``); moves
+        #: between a set and the victim cache and owner mutations
+        #: (commit, load-bit rehoming) need no index update because the
+        #: key is the tag alone.  The single-line fast paths resolve
+        #: version selection against this index in O(versions-of-line)
+        #: instead of scanning every way of the set plus the whole
+        #: victim cache.
+        self._line_versions: Dict[int, List[L2Entry]] = {}
         #: ctx -> set of line tags where the ctx has speculative state.
         self._ctx_lines: Dict[int, Set[int]] = {}
         # Statistics.
@@ -254,11 +277,24 @@ class SpeculativeL2:
         return ((1 << (last - first + 1)) - 1) << first
 
     def _versions(self, tag: int) -> List[L2Entry]:
-        """All on-chip versions of a line (set + victim cache)."""
-        versions = self._set_for(tag).versions_of(tag)
-        if self.victim._entries:
-            versions.extend(self.victim.versions_of(tag))
-        return versions
+        """All on-chip versions of a line (set + victim cache).
+
+        Served from the per-line version index; returns a copy so
+        callers may install/drop entries while iterating a snapshot.
+        """
+        lst = self._line_versions.get(tag)
+        return list(lst) if lst else []
+
+    def _unindex(self, entry: L2Entry) -> None:
+        """Remove an entry leaving the chip from the version index."""
+        lst = self._line_versions.get(entry.tag)
+        if lst is not None:
+            for i, e in enumerate(lst):
+                if e is entry:
+                    del lst[i]
+                    break
+            if not lst:
+                del self._line_versions[entry.tag]
 
     def _note_ctx_line(self, ctx: int, tag: int) -> None:
         lines = self._ctx_lines.get(ctx)
@@ -439,25 +475,15 @@ class SpeculativeL2:
         ``result`` is None for a clean hit; every state change and
         statistic matches ``load`` exactly.
         """
-        idx = (tag >> self._set_shift) & self._set_mask
-        cset = self._sets.get(idx)
-        if cset is None:
-            cset = L2Set(self._assoc)
-            self._sets[idx] = cset
-        # _read_version over set + victim entries, inlined without the
-        # intermediate versions list (strict > keeps the first-seen entry
-        # on ties exactly as the list-based scan did).
-        entries = cset._entries
+        # _read_version against the per-line version index: only this
+        # line's versions are visited, never the set's other ways or the
+        # victim cache (strict > keeps the first-seen entry on ties
+        # exactly as the list-based scan did).
+        lst = self._line_versions.get(tag)
         entry = None
-        for e in entries:
-            if e.tag == tag and e.owner <= order and (
-                entry is None or e.owner > entry.owner
-            ):
-                entry = e
-        ventries = self.victim._entries
-        if ventries:
-            for e in ventries:
-                if e.tag == tag and e.owner <= order and (
+        if lst is not None:
+            for e in lst:
+                if e.owner <= order and (
                     entry is None or e.owner > entry.owner
                 ):
                     entry = e
@@ -474,14 +500,25 @@ class SpeculativeL2:
             if entry.in_victim:
                 self._promote(entry)
             else:
-                entries.remove(entry)
-                entries.append(entry)
+                sentries = self._sets[
+                    (tag >> self._set_shift) & self._set_mask
+                ]._entries
+                if sentries[-1] is not entry:
+                    for si, se in enumerate(sentries):
+                        if se is entry:
+                            del sentries[si]
+                            break
+                    sentries.append(entry)
             self.hits += 1
             hit = True
             result = None
         if ctx is not None and exposed:
             entry.spec_loaded[ctx] = entry.spec_loaded.get(ctx, 0) | load_bits
-            self._note_ctx_line(ctx, tag)
+            # _note_ctx_line, inlined on the hot path.
+            lines = self._ctx_lines.get(ctx)
+            if lines is None:
+                self._ctx_lines[ctx] = lines = set()
+            lines.add(tag)
         return hit, result
 
     def store_line(
@@ -501,19 +538,15 @@ class SpeculativeL2:
         ``(hit, result)`` with ``result`` None when the store hit an
         existing version and raised no violations.
         """
-        idx = (tag >> self._set_shift) & self._set_mask
-        cset = self._sets.get(idx)
-        if cset is None:
-            cset = L2Set(self._assoc)
-            self._sets[idx] = cset
-        versions = [e for e in cset._entries if e.tag == tag]
-        ventries = self.victim._entries
-        if ventries:
-            for e in ventries:
-                if e.tag == tag:
-                    versions.append(e)
+        # The version index holds exactly this line's on-chip versions;
+        # the scan below never installs or drops, so the live list is
+        # safe to read (the installs at the bottom run after the last
+        # read of ``versions``).
+        versions = self._line_versions.get(tag) or ()
         violations: Tuple[Violation, ...] = ()
-        if detect and self._ctx_lines:
+        # No on-chip versions means no recorded load bits: the violation
+        # scan provably finds nothing, so skip the call.
+        if detect and versions and self._ctx_lines:
             violations = self._detect_violations(
                 tag, versions, words, order, ctx, store_pc
             )
@@ -563,14 +596,24 @@ class SpeculativeL2:
         if target.in_victim:
             self._promote(target)
         else:
-            entries = cset._entries
-            entries.remove(target)
-            entries.append(target)
+            sentries = self._sets[
+                (tag >> self._set_shift) & self._set_mask
+            ]._entries
+            if sentries[-1] is not target:
+                for si, se in enumerate(sentries):
+                    if se is target:
+                        del sentries[si]
+                        break
+                sentries.append(target)
         if ctx is None:
             target.dirty = True
         else:
             target.spec_mod[ctx] = target.spec_mod.get(ctx, 0) | words
-            self._note_ctx_line(ctx, tag)
+            # _note_ctx_line, inlined on the hot path.
+            lines = self._ctx_lines.get(ctx)
+            if lines is None:
+                self._ctx_lines[ctx] = lines = set()
+            lines.add(tag)
         return hit, result
 
     def _detect_violations(
@@ -639,10 +682,12 @@ class SpeculativeL2:
             cset.remove(victim)
             if victim.is_speculative():
                 self.victim_spills += 1
+                # Spilled entries stay on chip: no index change.
                 overflowed = self.victim.insert(victim)
                 if overflowed is not None:
                     self._handle_overflow(overflowed, result)
             else:
+                self._unindex(victim)
                 if victim.dirty:
                     result.memory_accesses += 1
                 if result.invalidated_lines:
@@ -650,12 +695,14 @@ class SpeculativeL2:
                 else:
                     result.invalidated_lines = [victim.tag]
         cset.add(entry)
+        self._line_versions.setdefault(entry.tag, []).append(entry)
         return entry
 
     def _handle_overflow(
         self, overflowed: L2Entry, result: AccessResult
     ) -> None:
         """A speculative line fell off the end of the victim cache."""
+        self._unindex(overflowed)  # off chip either way below
         if not overflowed.is_speculative():
             if overflowed.dirty:
                 result.memory_accesses += 1
@@ -775,10 +822,12 @@ class SpeculativeL2:
     def _drop(self, entry: L2Entry) -> None:
         if entry.in_victim:
             self.victim.remove(entry)
+            self._unindex(entry)
             return
         cset = self._set_for(entry.tag)
-        if entry in cset.entries():
+        if any(e is entry for e in cset.entries()):
             cset.remove(entry)
+            self._unindex(entry)
 
     # ------------------------------------------------------------------
     # Introspection (tests / invariant checks)
@@ -810,3 +859,18 @@ class SpeculativeL2:
                 assert key not in seen, f"duplicate version {key}"
                 seen.add(key)
         assert len(self.victim.entries()) <= self.victim.capacity
+        # The per-line version index must mirror the on-chip entries
+        # (sets + victim cache) exactly, entry for entry.
+        expected: Dict[int, List[int]] = {}
+        for cset in self._sets.values():
+            for entry in cset._entries:
+                expected.setdefault(entry.tag, []).append(id(entry))
+        for entry in self.victim._entries:
+            expected.setdefault(entry.tag, []).append(id(entry))
+        actual = {
+            tag: sorted(id(e) for e in lst)
+            for tag, lst in self._line_versions.items()
+        }
+        assert actual == {
+            tag: sorted(ids) for tag, ids in expected.items()
+        }, "L2 line-version index diverged from on-chip entries"

@@ -32,6 +32,7 @@ from ..core.engine import RewindAction, TLSEngine
 from ..core.epoch import EpochExecution, EpochStatus
 from ..core.latches import LatchTable
 from ..cpu.pipeline import CorePipeline
+from ..memory.columnar import resolve_loads
 from ..memory.l1 import L1Cache
 from ..memory.l2 import SpeculativeL2
 from ..memory.timing import MemorySystemTiming
@@ -274,6 +275,19 @@ class Machine:
         )
         self._spec_batches = 0
         self._batch_squashes = 0
+        #: Columnar bulk resolution of compiled load runs
+        #: (repro.memory.columnar).  Rides on the chained dispatch loop;
+        #: the per-load policies make every load a stateful engine call,
+        #: which the bulk path cannot replicate, so they force scalar.
+        #: Observer/invariant gates are per-region (they can be attached
+        #: after construction).
+        self._columnar = (
+            self._spec_dispatch and self.config.columnar
+            and not self._load_policies
+        )
+        self._col_batches = 0
+        self._col_accesses = 0
+        self._col_residue = 0
         #: Highest CPU index that processed an event at the current
         #: cycle (reset per region) — _restore_batch_journal's replay
         #: needs it to place same-cycle journal steps against the
@@ -432,7 +446,7 @@ class Machine:
                     self._other_l1s[c.index],
                     engine.exposed_load_tables[c.index].update,
                     c.l1.resident, c.l1._sets, c.l1._set_shift,
-                    c.l1._set_mask,
+                    c.l1._set_mask, c.l1._notified_tags,
                 )
         # The same-cycle processing census is region-scoped (see
         # _restore_batch_journal); a journal never spans regions.
@@ -599,8 +613,16 @@ class Machine:
              l2_lat, mem_lat, l2_load, l2_store, sync_waiters, msys, vp,
              banks, bank_shift, bank_mask, bank_free, bank_occ,
              pipeline, l1, width, penalty, other_l1s, elt_update,
-             l1_resident, l1_sets, l1_shift, l1_mask,
+             l1_resident, l1_sets, l1_shift, l1_mask, l1_notified,
              ) = cpu.hoist
+            # Columnar bulk dispatch is gated per region: the machine-
+            # level gate (config + per-load policies) plus the observer
+            # and invariant hooks, which demand per-record callbacks the
+            # bulk pass would skip.
+            columnar_on = (
+                self._columnar and observer is None
+                and invariants is None
+            )
             while True:
                 if invariants is not None:
                     invariants.on_step(self)
@@ -632,7 +654,70 @@ class Machine:
                 kind = rec[0]
                 entry = compiled[cursor]
                 t_next = None
-                if entry is not None and entry[0] == CK_MEM:
+                if (
+                    columnar_on and kind == Rec.LOAD
+                    and entry is not None and len(entry) == 4
+                    and not cpu.sync_skip
+                ):
+                    # Columnar bulk resolution (repro.memory.columnar):
+                    # the record opens (or continues) a compiled run of
+                    # single-line loads.  Commit the run's bulk-eligible
+                    # prefix — L1-resident hits needing no L2/engine/bank
+                    # interaction — in one call; each costs exactly one
+                    # cycle with no stall, so m accesses complete at
+                    # now + m.  The residue record (first miss/exposed
+                    # load) falls through to the scalar path next
+                    # iteration.
+                    block = entry[2]
+                    max_n = len(block[0]) - entry[3]
+                    if speculative and (
+                        len(epoch.subthreads) < max_subthreads
+                    ):
+                        # The between-records checkpoint test must stay
+                        # unreachable inside the bulk.  Under adaptive
+                        # spacing the engine policy runs every record, so
+                        # bulk stands down entirely.
+                        if spacing_cfg is None:
+                            max_n = 0
+                        else:
+                            room = (
+                                spacing_cfg
+                                - epoch.instrs_since_checkpoint
+                            )
+                            if room < max_n:
+                                max_n = room
+                    if max_n >= 2 and heap:
+                        # Every intermediate completion must beat the
+                        # heap top under the (time, cpu) tie-break,
+                        # exactly like the chain test at the bottom.
+                        top = heap[0]
+                        cand = int(top[0] - now) + 1
+                        if cand < max_n:
+                            max_n = cand
+                        if max_n >= 2:
+                            last = now + max_n - 1
+                            if last > top[0] or (
+                                last == top[0] and cpu_idx > top[1]
+                            ):
+                                max_n -= 1
+                    if max_n >= 2 and (m := resolve_loads(
+                        block, entry[3], max_n, l1_resident,
+                        l1_notified, su, l1_sets, l1_shift, l1_mask,
+                    )):
+                        l1.hits += m
+                        epoch.instrs_since_checkpoint += m
+                        cp.instructions += m
+                        pending[_BUSY] += m
+                        self._fast_loads += m
+                        self._col_batches += 1
+                        self._col_accesses += m
+                        epoch.cursor = cursor + m
+                        t_next = now + m
+                    else:
+                        self._col_residue += 1
+                if t_next is not None:
+                    pass  # columnar bulk committed; straight to chaining
+                elif entry is not None and entry[0] == CK_MEM:
                     if kind == Rec.LOAD:
                         # _do_load_fast, inlined against the hoisted
                         # locals.
@@ -794,6 +879,7 @@ class Machine:
                                                     lobj.subidx = subidx
                                                 l1._spec_tags.add(line)
                                                 lobj.notified = True
+                                                l1_notified.add(line)
                                     continue
                                 l1.misses += 1
                                 written = su.get(line)
@@ -2125,6 +2211,9 @@ class Machine:
             ("compile.spec_batches", lambda: self._spec_batches),
             ("compile.batch_squashes", lambda: self._batch_squashes),
             ("compile.region_cache_reuses", lambda: self._compile_reuses),
+            ("compile.columnar_batches", lambda: self._col_batches),
+            ("compile.columnar_accesses", lambda: self._col_accesses),
+            ("compile.columnar_residue", lambda: self._col_residue),
         ])
         return registry
 

@@ -46,6 +46,9 @@ METRIC_SOURCES: Dict[str, str] = {
     "compile.spec_batches": "compiled_spec_batches",
     "compile.batch_squashes": "compiled_batch_squashes",
     "compile.region_cache_reuses": "compiled_region_cache_reuses",
+    "compile.columnar_batches": "columnar_batches",
+    "compile.columnar_accesses": "columnar_accesses",
+    "compile.columnar_residue": "columnar_residue",
 }
 
 
@@ -96,6 +99,13 @@ class SimulationStats:
     #: cache (process-wide memo or segment-attached) instead of being
     #: lowered again.
     compiled_region_cache_reuses: int = field(default=0, compare=False)
+    #: Columnar kernel telemetry (repro.memory.columnar): bulk resolver
+    #: calls that committed a prefix, the loads they resolved, and the
+    #: block-covered loads that went through the scalar residue path
+    #: instead (ineligible first access or dispatch-window clamp).
+    columnar_batches: int = field(default=0, compare=False)
+    columnar_accesses: int = field(default=0, compare=False)
+    columnar_residue: int = field(default=0, compare=False)
     #: Hottest profiled (load PC, store PC, failed cycles, violations)
     #: tuples, worst first.  Run telemetry for the observability report;
     #: compare=False so architectural-equality checks stay unaffected.

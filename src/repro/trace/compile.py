@@ -49,6 +49,16 @@ tracking), and the region-privacy classification below.  These are pure
 functions of the immutable cache geometry, so they are exact in every
 execution mode.
 
+**Columnar load blocks.**  Maximal runs of consecutive single-line LOAD
+records are additionally lowered into parallel columnar arrays (the
+per-record line tuples transposed into ``lines`` / ``word_masks``
+columns, numpy-backed for long runs when numpy is importable — see
+:mod:`repro.memory.columnar`).  The machine's chained dispatch resolves
+a run's bulk-eligible prefix (L1-resident, already-notified hits) in a
+single call instead of once-per-record; every MEM entry of such a run is
+widened to ``(MEM, lines, block, offset)`` so bulk resolution can resume
+mid-run after a scalar residue record.
+
 **Region-private line classification.**  A line touched by exactly one
 epoch of the region is *private*; a line touched by two or more is
 *shared*.  A store to a private line provably cannot violate anyone — a
@@ -73,11 +83,15 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..cpu.pipeline import PipelineConfig
+from ..memory.columnar import build_block
 from ..trace.events import EpochTrace, Op, Rec
 
 #: Compiled-entry kinds (first element of every compiled entry).
 BATCH = 0
 MEM = 1
+
+#: Minimum run of consecutive single-line loads worth a columnar block.
+_COLUMNAR_MIN_RUN = 2
 
 #: Process-wide compiled-region memo: ``(trace content key, segment
 #: ordinal, compile key) -> per-epoch entry lists``.  The content key is
@@ -331,5 +345,49 @@ def compile_region(
                 i = j
             else:
                 i = j if j > i else i + 1
+        _lower_columnar(records, entries)
         out.epochs.append(entries)
     return out
+
+
+def _lower_columnar(records, entries) -> None:
+    """Attach columnar blocks to runs of consecutive single-line loads.
+
+    Each maximal run of ``_COLUMNAR_MIN_RUN``-plus consecutive LOAD
+    records that touch exactly one line gets one shared
+    :func:`repro.memory.columnar.build_block` column set — the run's
+    interned line tuples transposed into parallel ``lines`` /
+    ``word_masks`` columns — and every MEM entry in the run is widened
+    to ``(MEM, lines, block, offset)`` so the machine's bulk resolver
+    can start mid-run (the previous attempt may have committed only an
+    eligible prefix, leaving the cursor inside the block).  Entries
+    outside a run keep the two-element ``(MEM, lines)`` shape; dispatch
+    code indexes only ``entry[0]`` / ``entry[1]``, so both shapes flow
+    through the scalar path unchanged.  Blocks are pure functions of
+    records + geometry — the same inputs the MEM entries depend on — so
+    the compile key and memo sharing are unaffected.
+    """
+    n = len(entries)
+    i = 0
+    while i < n:
+        e = entries[i]
+        if (
+            e is None or e[0] != MEM
+            or records[i][0] != Rec.LOAD or len(e[1]) != 1
+        ):
+            i += 1
+            continue
+        j = i + 1
+        while j < n:
+            ej = entries[j]
+            if (
+                ej is None or ej[0] != MEM
+                or records[j][0] != Rec.LOAD or len(ej[1]) != 1
+            ):
+                break
+            j += 1
+        if j - i >= _COLUMNAR_MIN_RUN:
+            block = build_block([entries[k][1][0] for k in range(i, j)])
+            for off, k in enumerate(range(i, j)):
+                entries[k] = (MEM, entries[k][1], block, off)
+        i = j

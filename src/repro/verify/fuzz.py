@@ -8,6 +8,10 @@ observer attached and the serial-replay oracle checking the result.
 Each (mode, config) case runs through *both* simulator paths — compiled
 traces and fully interpreted — and the two runs must agree on every
 simulation statistic, making the trace compiler itself a fuzzed axis.
+A third, observer-free differential pair compares the columnar bulk
+load resolver (``columnar=True``) against the scalar compiled path, so
+the columnar kernel is fuzzed on exactly the configurations where it
+engages.
 With ``--check-invariants`` the cycle-level invariant checker runs as
 well, at a tight sweep interval.
 
@@ -40,7 +44,7 @@ from typing import List, Optional, Tuple
 
 from ..core.engine import TLSConfig
 from ..cpu.pipeline import PipelineConfig
-from ..sim import ExecutionMode, MachineConfig
+from ..sim import ExecutionMode, Machine, MachineConfig
 from ..trace.addressmap import AddressMap
 from ..trace.events import (
     EpochTrace,
@@ -237,12 +241,15 @@ def _run_case(
     """Run one (workload, config) under the oracle; returns the failure
     message, or None when the run is equivalent.
 
-    Every case runs twice — once through the compiled-trace fast path
-    and once fully interpreted — with the oracle (and, when configured,
-    the invariant checker) attached to both.  The two runs must produce
-    equal simulation statistics; ``SimulationStats.__eq__`` already
-    ignores the compile-telemetry counters, which are the only fields
-    allowed to differ.
+    Every case runs twice under the oracle — once through the
+    compiled-trace fast path and once fully interpreted — plus a third
+    differential pair *without* the oracle attached: the columnar bulk
+    load resolver only engages when no observer demands per-record
+    callbacks, so a bare columnar run is compared against a bare
+    ``columnar=False`` run (every load through the scalar reference
+    path).  All comparisons must produce equal simulation statistics;
+    ``SimulationStats.__eq__`` already ignores the compile/columnar
+    telemetry counters, which are the only fields allowed to differ.
     """
     try:
         compiled = run_with_oracle(
@@ -255,6 +262,17 @@ def _run_case(
             return (
                 "CompiledPathMismatch: compiled-trace stats differ from "
                 "the interpreted path"
+            )
+        columnar_stats = Machine(dataclasses.replace(
+            config, compile_traces=True, columnar=True
+        )).run(workload)
+        scalar_stats = Machine(dataclasses.replace(
+            config, compile_traces=True, columnar=False
+        )).run(workload)
+        if columnar_stats != scalar_stats:
+            return (
+                "ColumnarPathMismatch: columnar bulk-load stats differ "
+                "from the scalar compiled path"
             )
     except (OracleMismatch, InvariantError, AssertionError) as exc:
         return f"{type(exc).__name__}: {exc}"

@@ -1,0 +1,323 @@
+"""Columnar bulk load resolution (repro.memory.columnar).
+
+The hard invariant under test: a run with the columnar resolver on is
+byte-identical — every architectural statistic, every cycle — to the
+same run through the scalar compiled path (``columnar=False``) and to
+the fully interpreted path, including under mid-region squashes and
+victim-cache pressure.  The telemetry counters prove the bulk path
+actually fired rather than standing down.
+
+Address bases are distinct per test class: compiled regions are
+memoized process-wide by trace content, so tests that monkeypatch the
+numpy thresholds must not share content keys with tests that compiled
+before the patch.
+"""
+
+import dataclasses
+
+import pytest
+
+import repro.memory.columnar as columnar
+from repro.core.profiling import ExposedLoadTable
+from repro.memory.cache import CacheGeometry
+from repro.memory.l1 import L1Cache
+from repro.sim import ExecutionMode, Machine, MachineConfig
+from repro.trace.events import (
+    EpochTrace,
+    ParallelRegion,
+    Rec,
+    TransactionTrace,
+    WorkloadTrace,
+)
+
+PC = 0x40_0000
+
+
+def workload(segments, name="w"):
+    txn = TransactionTrace(name="t", segments=segments)
+    return WorkloadTrace(name=name, transactions=[txn])
+
+
+def region(*epoch_records):
+    return ParallelRegion(
+        epochs=[
+            EpochTrace(epoch_id=i, records=list(recs))
+            for i, recs in enumerate(epoch_records)
+        ]
+    )
+
+
+def run_triple(wl, mode=ExecutionMode.BASELINE, **overrides):
+    """Stats for columnar / scalar-compiled / interpreted, plus the
+    columnar machine (for post-run mirror checks)."""
+    config = MachineConfig.for_mode(mode)
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    machine = Machine(config)
+    col = machine.run(wl)
+    scal = Machine(
+        dataclasses.replace(config, columnar=False)
+    ).run(wl)
+    interp = Machine(
+        dataclasses.replace(config, compile_traces=False)
+    ).run(wl)
+    return col, scal, interp, machine
+
+
+def check_all_mirrors(machine):
+    for cpu in machine.cpus:
+        cpu.l1.check_mirrors()
+    machine.l2.check_invariants()
+
+
+def load_pass(base, n, stride=32, pc=PC):
+    return [(Rec.LOAD, base + stride * i, 4, pc + 8 * i) for i in range(n)]
+
+
+class TestBulkIdentity:
+    """Crafted load runs resolve in bulk and stay byte-identical."""
+
+    BASE = 0x5100_0000
+
+    def _workload(self):
+        # First pass warms the lines (misses / exposed loads: scalar
+        # residue); the second pass is resident + notified, so the whole
+        # run is bulk-eligible.
+        e0 = (
+            load_pass(self.BASE, 12)
+            + [(Rec.COMPUTE, 20)]
+            + load_pass(self.BASE, 12)
+        )
+        return workload([region(e0)])
+
+    def test_single_epoch_run_bulk_resolved(self):
+        col, scal, interp, machine = run_triple(self._workload())
+        assert col.columnar_batches >= 1
+        assert col.columnar_accesses >= 12
+        assert scal.columnar_accesses == 0
+        assert col == scal == interp
+        assert col.total_cycles == scal.total_cycles == interp.total_cycles
+        check_all_mirrors(machine)
+
+    def test_speculative_epochs_bulk_resolved(self):
+        base = self.BASE + 0x10000
+        epochs = []
+        for e in range(3):
+            lines = base + 0x1000 * e
+            epochs.append(
+                load_pass(lines, 10)
+                + [(Rec.COMPUTE, 30)]
+                + load_pass(lines, 10)
+                + [(Rec.COMPUTE, 10)]
+                + load_pass(lines, 10)
+            )
+        col, scal, interp, machine = run_triple(workload([region(*epochs)]))
+        assert col.columnar_accesses > 0
+        assert col == scal == interp
+        assert col.total_cycles == interp.total_cycles
+        check_all_mirrors(machine)
+
+    def test_counters_are_telemetry_only(self):
+        col, scal, _, _ = run_triple(self._workload())
+        # Telemetry differs (that is the point) but equality holds:
+        # the counters are compare=False fields.
+        assert col.columnar_accesses != scal.columnar_accesses
+        assert col == scal
+
+
+class TestMidRegionSquash:
+    """A violation squashes an epoch whose load runs were being bulk
+    resolved; the rewind restores the columnar tag mirrors exactly."""
+
+    A = 0x5300_0000
+    P = 0x5310_0000
+
+    def _workload(self):
+        # e0 stores the shared line after a long compute; e1 loads it
+        # speculatively first, then cycles over private lines — warm
+        # pass then bulk passes — until the store squashes it.
+        e0 = [(Rec.COMPUTE, 900), (Rec.STORE, self.A, 4, PC)]
+        e1 = [(Rec.LOAD, self.A, 4, PC + 16)]
+        for rep in range(6):
+            e1 += load_pass(self.P, 10, pc=PC + 0x100 * rep)
+            e1 += [(Rec.COMPUTE, 20)]
+        return workload([region(e0, e1)])
+
+    def test_squash_matches_scalar_and_interpreted(self):
+        col, scal, interp, machine = run_triple(
+            self._workload(), ExecutionMode.NO_SUBTHREAD
+        )
+        assert col.primary_violations >= 1
+        assert col.columnar_batches >= 1
+        assert col == scal == interp
+        assert col.total_cycles == interp.total_cycles
+        check_all_mirrors(machine)
+
+    def test_squash_with_subthreads(self):
+        col, scal, interp, machine = run_triple(self._workload())
+        assert col.primary_violations >= 1
+        assert col == scal == interp
+        assert col.total_cycles == interp.total_cycles
+        check_all_mirrors(machine)
+
+
+class TestVictimCachePressure:
+    """A tiny L2 with a tiny victim cache spills and overflows while
+    bulk loads resolve against the moving tag state."""
+
+    BASE = 0x5400_0000
+
+    def _workload(self):
+        epochs = []
+        for e in range(4):
+            base = self.BASE + 0x8000 * e
+            recs = []
+            for rep in range(3):
+                recs += load_pass(base, 16, pc=PC + 0x100 * rep)
+                recs += [
+                    (Rec.STORE, base + 32 * (rep + 1), 4, PC + 0x900 + rep)
+                ]
+                recs += [(Rec.COMPUTE, 15)]
+                recs += load_pass(base, 16, pc=PC + 0x100 * rep + 4)
+            epochs.append(recs)
+        return workload([region(*epochs)])
+
+    def test_spills_and_identity(self):
+        col, scal, interp, machine = run_triple(
+            self._workload(),
+            l2_size=1024, l2_assoc=2, victim_entries=2,
+        )
+        assert col.victim_spills > 0
+        assert col == scal == interp
+        assert col.total_cycles == interp.total_cycles
+        check_all_mirrors(machine)
+
+
+class TestNonPow2LineSize:
+    """ExposedLoadTable's divide/modulo fallback for non-pow2 lines."""
+
+    def test_fallback_indexing_matches_reference(self):
+        table = ExposedLoadTable(entries=64, line_size=24)
+        assert table._line_shift is None
+        for addr in (0, 24, 48, 24 * 63, 24 * 64, 24 * 65, 7000):
+            assert table._index(addr) == (addr // 24) % 64
+
+    def test_pow2_shift_path_equals_fallback_arithmetic(self):
+        table = ExposedLoadTable(entries=64, line_size=32)
+        assert table._line_shift is not None
+        for addr in (0, 32, 4096, 32 * 64, 12345 * 32):
+            assert table._index(addr) == (addr // 32) % 64
+
+    def test_update_lookup_roundtrip_and_aliasing(self):
+        table = ExposedLoadTable(entries=16, line_size=24)
+        a = 24 * 5
+        alias = a + 24 * 16  # same index, different tag
+        table.update(a, PC)
+        assert table.lookup(a) == PC
+        table.update(alias, PC + 4)
+        assert table.lookup(alias) == PC + 4
+        assert table.lookup(a) is None  # evicted by the alias
+        assert table.tag_mismatches == 1
+
+
+@pytest.mark.skipif(
+    not columnar.numpy_enabled(), reason="numpy not importable"
+)
+class TestNumpyPath:
+    """The vectorized pre-screen agrees with the pure-Python loop."""
+
+    BASE = 0x5500_0000
+
+    def _l1_with(self, lines, spec=False, notified=False):
+        l1 = L1Cache(CacheGeometry(
+            size_bytes=32 * 1024, assoc=4, line_size=32
+        ))
+        for line in lines:
+            l1.fill(line, spec=spec, notified=notified)
+        return l1
+
+    def _resolve_both(self, monkeypatch, tuples, resident_lines,
+                      notified_lines=None, su=None, max_n=None):
+        """(numpy result, pure result) for the same block contents,
+        each against its own freshly-built L1 mirror state."""
+        monkeypatch.setattr(columnar, "NUMPY_MIN_BLOCK", 2)
+        monkeypatch.setattr(columnar, "NUMPY_MIN_SPAN", 2)
+        block = columnar.build_block(tuples)
+        assert block[2] is not None, "numpy column expected"
+        plain = (block[0], block[1], None)
+        n = max_n if max_n is not None else len(tuples)
+        spec = notified_lines is not None
+        results = []
+        orders = []
+        for b in (block, plain):
+            l1 = self._l1_with(resident_lines, spec=spec)
+            notified = None
+            if spec:
+                for line in notified_lines:
+                    l1.mark_spec(line, notified=True)
+                notified = l1._notified_tags
+            results.append(columnar.resolve_loads(
+                b, 0, n, l1.resident, notified, su,
+                l1._sets, l1._set_shift, l1._set_mask,
+            ))
+            orders.append([
+                list(cset._order) for _, cset in sorted(l1._sets.items())
+            ])
+        assert orders[0] == orders[1], "LRU effects must match"
+        return results[0], results[1]
+
+    def _tuples(self, lines):
+        return [(line, line, 0b11, 0b11, False) for line in lines]
+
+    def test_all_eligible(self, monkeypatch):
+        lines = [self.BASE + 32 * i for i in range(8)]
+        a, b = self._resolve_both(monkeypatch, self._tuples(lines), lines)
+        assert a == b == 8
+
+    def test_prefix_ends_at_nonresident(self, monkeypatch):
+        lines = [self.BASE + 32 * i for i in range(8)]
+        a, b = self._resolve_both(
+            monkeypatch, self._tuples(lines), lines[:5]
+        )
+        assert a == b == 5
+
+    def test_store_covered_line_needs_exact_loop(self, monkeypatch):
+        # Line 3 is resident but not notified; the epoch's store union
+        # covers its mask, so only the exact per-access test admits it.
+        lines = [self.BASE + 32 * i for i in range(8)]
+        su = {lines[3]: 0b11}
+        a, b = self._resolve_both(
+            monkeypatch, self._tuples(lines), lines,
+            notified_lines=[l for l in lines if l != lines[3]], su=su,
+        )
+        assert a == b == 8
+
+    def test_uncovered_unnotified_line_ends_prefix(self, monkeypatch):
+        lines = [self.BASE + 32 * i for i in range(8)]
+        a, b = self._resolve_both(
+            monkeypatch, self._tuples(lines), lines,
+            notified_lines=[l for l in lines if l != lines[4]], su={},
+        )
+        assert a == b == 4
+
+    def test_max_n_clamps(self, monkeypatch):
+        lines = [self.BASE + 32 * i for i in range(8)]
+        a, b = self._resolve_both(
+            monkeypatch, self._tuples(lines), lines, max_n=3
+        )
+        assert a == b == 3
+
+    def test_end_to_end_with_numpy_blocks(self, monkeypatch):
+        monkeypatch.setattr(columnar, "NUMPY_MIN_BLOCK", 2)
+        monkeypatch.setattr(columnar, "NUMPY_MIN_SPAN", 2)
+        base = self.BASE + 0x20000
+        e0 = (
+            load_pass(base, 12)
+            + [(Rec.COMPUTE, 20)]
+            + load_pass(base, 12)
+        )
+        col, scal, interp, machine = run_triple(workload([region(e0)]))
+        assert col.columnar_accesses >= 12
+        assert col == scal == interp
+        assert col.total_cycles == interp.total_cycles
+        check_all_mirrors(machine)
