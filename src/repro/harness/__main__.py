@@ -29,6 +29,8 @@ from .figure6 import run_figure6
 from .kvstudy import run_kv_study
 from .mixstudy import run_mix_latency
 from .runner import ExperimentContext, JobRunner
+from .sampled import run_figure5_sampled, run_huge
+from ..trace.sampling import SamplerConfig
 from .scalability import run_scalability
 from .tracecache import default_cache_dir
 from .seedsweep import run_seed_sweep
@@ -50,8 +52,16 @@ EXPERIMENTS = (
     "kv",
     "dependences",
     "mix",
+    "huge",
     "all",
 )
+
+#: Experiments excluded from ``all`` (the huge-scale sampled run takes
+#: hundreds of thousands of transactions by default; run it explicitly).
+NOT_IN_ALL = ("huge", "all")
+
+#: Experiments that understand the ``--sample-*`` flags.
+SAMPLED_EXPERIMENTS = ("figure5", "huge", "all")
 
 #: Non-experiment commands sharing the entry point.
 COMMANDS = EXPERIMENTS + ("report",)
@@ -74,8 +84,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--transactions",
         type=int,
-        default=4,
-        help="transactions per benchmark run (default 4)",
+        default=None,
+        help=(
+            "transactions per benchmark run (default 4; the 'huge' "
+            "experiment defaults to 200000)"
+        ),
     )
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument(
@@ -85,11 +98,52 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--scale",
-        choices=("default", "tiny", "paper"),
+        choices=("default", "tiny", "paper", "huge"),
         default=None,
         help=(
             "TPC-C scale; 'paper' uses the official cardinalities "
-            "(very slow under pure Python)"
+            "(very slow under pure Python); 'huge' sizes the database "
+            "for the sampled huge-scale runs"
+        ),
+    )
+    parser.add_argument(
+        "--sample-rate",
+        type=float,
+        default=None,
+        metavar="R",
+        help=(
+            "statistically sample the workload: detail-simulate a "
+            "stratified fraction R of transactions and report interval "
+            "estimates (repro.trace.sampling); 1.0 runs the exhaustive "
+            "path byte-identically; only for figure5 and huge"
+        ),
+    )
+    parser.add_argument(
+        "--sample-strata",
+        type=int,
+        default=3,
+        metavar="K",
+        help=(
+            "dependence-density quantile buckets per transaction label "
+            "(default 3)"
+        ),
+    )
+    parser.add_argument(
+        "--sample-seed",
+        type=int,
+        default=0,
+        help="sampler RNG seed (default 0); estimates are deterministic "
+             "for a fixed seed, independent of --jobs",
+    )
+    parser.add_argument(
+        "--sample-warmup",
+        type=int,
+        default=4,
+        metavar="K",
+        help=(
+            "detailed warmup tail per sampled transaction: K "
+            "predecessors are detail-simulated and subtracted out "
+            "(default 4; -1 = full prefix, exact but O(N) per unit)"
         ),
     )
     parser.add_argument(
@@ -192,10 +246,39 @@ def main(argv=None) -> int:
 
     if args.scale == "paper":
         scale = TPCCScale.paper()
+    elif args.scale == "huge":
+        scale = TPCCScale.huge()
     elif args.scale == "tiny" or args.tiny:
         scale = TPCCScale.tiny()
     else:
         scale = None
+    n_transactions = args.transactions
+    if n_transactions is None:
+        n_transactions = 200_000 if args.experiment == "huge" else 4
+    if (
+        args.sample_rate is not None
+        and args.experiment not in SAMPLED_EXPERIMENTS
+    ):
+        parser.error(
+            "--sample-rate only applies to the figure5 and huge "
+            "experiments"
+        )
+
+    def sampler_config(functional_window: int) -> SamplerConfig:
+        """The ``--sample-*`` flags as a SamplerConfig.
+
+        The functional-warming window differs per experiment: figure5
+        traces are small enough to warm from the whole prefix (-1),
+        while the huge path must bound the window or each unit's warm
+        cost grows with its position.
+        """
+        return SamplerConfig(
+            rate=args.sample_rate,
+            strata=args.sample_strata,
+            seed=args.sample_seed,
+            warmup=args.sample_warmup,
+            functional_window=functional_window,
+        )
     if args.no_trace_cache:
         cache_dir = None
     else:
@@ -214,26 +297,47 @@ def main(argv=None) -> int:
         progress=args.progress,
     )
     ctx = ExperimentContext(
-        n_transactions=args.transactions, seed=args.seed, scale=scale,
+        n_transactions=n_transactions, seed=args.seed, scale=scale,
         runner=runner,
     )
 
     def experiment_results(name: str):
-        """Run one experiment; returns (results, rendered_text)."""
+        """Run one experiment; returns (results, rendered_text, artifact)."""
+        artifact = name
         if name == "table1":
             text = table1_text()
-            return text, text
+            return text, text, artifact
         if name == "table2":
             result = run_table2(ctx)
         elif name == "figure2":
             result = run_figure2(
-                n_transactions=args.transactions, seed=args.seed,
+                n_transactions=n_transactions, seed=args.seed,
                 scale=scale,
             )
         elif name == "figure4":
             result = run_figure4()
         elif name == "figure5":
-            result = run_figure5(ctx)
+            if args.sample_rate is not None and args.sample_rate < 1.0:
+                result = run_figure5_sampled(
+                    ctx, sampler_config(functional_window=-1)
+                )
+                artifact = "figure5_sampled"
+            else:
+                # rate >= 1.0 covers every transaction: take the
+                # exhaustive path so the exported figure5.json is
+                # byte-identical to an unsampled run.
+                result = run_figure5(ctx)
+        elif name == "huge":
+            result = run_huge(
+                n_transactions=n_transactions,
+                seed=args.seed,
+                sampler=(
+                    None if args.sample_rate is None
+                    else sampler_config(functional_window=16)
+                ),
+                runner=runner,
+                scale=scale,
+            )
         elif name == "figure6":
             result = run_figure6(ctx)
         elif name == "ablations":
@@ -245,7 +349,8 @@ def main(argv=None) -> int:
                 run_adaptive_spacing_ablation(ctx),
                 run_overlap_loads_ablation(ctx),
             ]
-            return results, "\n\n".join(r.render() for r in results)
+            text = "\n\n".join(r.render() for r in results)
+            return results, text, artifact
         elif name == "extensions":
             result = run_prediction_comparison(ctx)
         elif name == "scalability":
@@ -254,47 +359,56 @@ def main(argv=None) -> int:
             result = run_when_to_use(ctx)
         elif name == "kv":
             result = run_kv_study(
-                n_batches=args.transactions, seed=args.seed,
+                n_batches=n_transactions, seed=args.seed,
                 runner=runner,
             )
         elif name == "mix":
             result = run_mix_latency(
-                n_transactions=max(args.transactions, 12),
+                n_transactions=max(n_transactions, 12),
                 seed=args.seed, scale=scale, runner=runner,
             )
         elif name == "dependences":
             result = run_dependence_analysis(
-                n_transactions=args.transactions, seed=args.seed,
+                n_transactions=n_transactions, seed=args.seed,
                 scale=scale,
             )
         elif name == "seeds":
             result = run_seed_sweep(
-                n_transactions=args.transactions, scale=scale,
+                n_transactions=n_transactions, scale=scale,
                 runner=runner,
             )
         else:
             raise ValueError(name)
-        return result, result.render()
+        return result, result.render(), artifact
 
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
 
     wanted = (
-        list(EXPERIMENTS[:-1]) if args.experiment == "all"
+        [n for n in EXPERIMENTS if n not in NOT_IN_ALL]
+        if args.experiment == "all"
         else [args.experiment]
     )
+    config = {
+        "experiment": args.experiment,
+        "transactions": n_transactions,
+        "seed": args.seed,
+        "scale": args.scale or ("tiny" if args.tiny else "default"),
+        "jobs": runner.jobs,
+        "compile_traces": not args.no_compile_traces,
+        "columnar": not args.no_columnar,
+        "check_invariants": args.check_invariants,
+    }
+    if args.sample_rate is not None:
+        config["sampler"] = {
+            "rate": args.sample_rate,
+            "strata": args.sample_strata,
+            "seed": args.sample_seed,
+            "warmup": args.sample_warmup,
+        }
     manifest = build_manifest(
         command=main_command(argv),
-        config={
-            "experiment": args.experiment,
-            "transactions": args.transactions,
-            "seed": args.seed,
-            "scale": args.scale or ("tiny" if args.tiny else "default"),
-            "jobs": runner.jobs,
-            "compile_traces": not args.no_compile_traces,
-            "columnar": not args.no_columnar,
-            "check_invariants": args.check_invariants,
-        },
+        config=config,
         seed=args.seed,
     )
     tracer = None
@@ -308,24 +422,37 @@ def main(argv=None) -> int:
             t0 = time.perf_counter()
             if tracer is not None:
                 with tracer.span(f"experiment.{name}"):
-                    result, text = experiment_results(name)
+                    result, text, artifact = experiment_results(name)
             else:
-                result, text = experiment_results(name)
+                result, text, artifact = experiment_results(name)
             elapsed = time.perf_counter() - t0
             print(text)
+            sampler_block = (
+                result.manifest_block()
+                if hasattr(result, "manifest_block") else None
+            )
+            if tracer is not None and sampler_block is not None:
+                tracer.event(
+                    "sampler.estimates",
+                    experiment=name,
+                    sampler=sampler_block,
+                )
             if args.out is not None:
                 done = finish_manifest(
                     manifest, elapsed,
                     trace_spec_keys=runner.trace_spec_keys(),
                 )
-                done["artifact"] = name
+                done["artifact"] = artifact
+                if sampler_block is not None:
+                    done["sampler"] = sampler_block
                 if name == "table1":
                     export_text(
                         text, args.out / "table1.txt", manifest=done
                     )
                 else:
                     export_json(
-                        result, args.out / f"{name}.json", manifest=done
+                        result, args.out / f"{artifact}.json",
+                        manifest=done,
                     )
             print(f"[{name} took {elapsed:.1f}s]", flush=True)
     finally:

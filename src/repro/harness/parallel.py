@@ -140,7 +140,10 @@ def _run_job(job: "SimJob", config_overrides=None) -> SimulationStats:
             import dataclasses
 
             config = dataclasses.replace(config, **config_overrides)
-        return Machine(config).run(trace)
+        machine = Machine(config)
+        if job.warmup is not None:
+            machine.functional_warm(job.warmup)
+        return machine.run(trace)
     except Exception:
         raise JobFailure(
             f"job {label} failed in worker {os.getpid()}:\n"

@@ -35,6 +35,13 @@ class SimJob:
     config: MachineConfig
     spec: Optional[TraceSpec] = None
     trace: Optional[WorkloadTrace] = None
+    #: Optional warmup prefix replayed *un-timed* through
+    #: ``Machine.functional_warm`` before the measured trace — the
+    #: sampled-simulation path (:mod:`repro.harness.sampled`) warms
+    #: L1/L2/predictor state this way so a sliced trace starts from
+    #: realistic mid-workload state.  None (the default) runs the
+    #: original cold-start path.
+    warmup: Optional[WorkloadTrace] = None
 
     def __post_init__(self) -> None:
         if (self.spec is None) == (self.trace is None):
@@ -122,12 +129,18 @@ class JobRunner:
         trace = job.trace if job.trace is not None else self.trace_for(job.spec)
         config = self._effective_config(job.config)
         if self.tracer is None:
-            return Machine(config).run(trace)
+            machine = Machine(config)
+            if job.warmup is not None:
+                machine.functional_warm(job.warmup)
+            return machine.run(trace)
         from .parallel import describe_job
 
         label = describe_job(job)
         with self.tracer.span("harness.job", job=label):
-            stats = Machine(config, tracer=self.tracer).run(trace)
+            machine = Machine(config, tracer=self.tracer)
+            if job.warmup is not None:
+                machine.functional_warm(job.warmup)
+            stats = machine.run(trace)
         self._emit_job_telemetry(job, label, stats)
         return stats
 

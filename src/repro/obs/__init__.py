@@ -45,7 +45,9 @@ from .schema import (
     REQUIRED_MANIFEST_KEYS,
     RunLogError,
     assert_valid_run_log,
+    assert_valid_sampler_block,
     lint_run_log,
+    lint_sampler_block,
 )
 from .tracer import RECORD_TYPES, SpanTracer
 
@@ -59,6 +61,7 @@ __all__ = [
     "RunLogError",
     "SpanTracer",
     "assert_valid_run_log",
+    "assert_valid_sampler_block",
     "atomic_output_file",
     "atomic_write_json",
     "atomic_write_text",
@@ -68,6 +71,7 @@ __all__ = [
     "format_eta",
     "git_sha",
     "lint_run_log",
+    "lint_sampler_block",
     "main_command",
     "manifest_path",
     "render_report",

@@ -8,6 +8,8 @@
 * a Figure-5-style cycle breakdown aggregated over every simulated job's
   counter record — the same categories, summed the same way the paper
   sums CPU-cycles;
+* interval estimates from any sampled experiments in the run (the
+  ``sampler.estimates`` events carry params, coverage, and CIs);
 * the hottest profiled (load PC, store PC) dependence pairs by failed
   cycles — the §3.1 profiler output that tells the programmer which
   dependence to tune next;
@@ -147,6 +149,62 @@ def _dependence_totals(
     return ranked
 
 
+def _sampler_events(records: List[dict]) -> List[dict]:
+    """``sampler.estimates`` event payloads, in file order.
+
+    Sampled experiments (``--sample-rate`` / the ``huge`` experiment)
+    emit one event each carrying the sampler params, achieved record
+    coverage, and every metric's interval estimate.
+    """
+    return [
+        rec.get("attrs", {})
+        for rec in records
+        if rec.get("type") == "event"
+        and rec.get("name") == "sampler.estimates"
+    ]
+
+
+def _estimate_cell(estimate: Optional[dict], fmt: str) -> str:
+    if not estimate:
+        return "-"
+    half = (estimate["high"] - estimate["low"]) / 2.0
+    return f"{estimate['point']:{fmt}} ±{half:{fmt}}"
+
+
+def _render_sampler_section(event: dict, render_table) -> str:
+    block = event.get("sampler", {})
+    params = block.get("params", {})
+    coverage = block.get("achieved_coverage")
+    header = (
+        f"sampled run ({event.get('experiment', '?')}): "
+        f"rate {params.get('rate')}  strata {params.get('strata')}  "
+        f"seed {params.get('seed')}  warmup {params.get('warmup')}"
+    )
+    if coverage is not None:
+        header += (
+            f"  coverage {coverage:.1%}"
+            f" ({block.get('transactions_sampled')}/"
+            f"{block.get('transactions_total')} txns)"
+        )
+    rows = []
+    for key, metrics in sorted(block.get("estimates", {}).items()):
+        rows.append([
+            key,
+            _estimate_cell(metrics.get("total_cycles"), ".4g"),
+            _estimate_cell(metrics.get("speedup"), ".2f"),
+        ])
+    speedup = block.get("speedup")
+    if speedup is not None:
+        rows.append(["(paired speedup)", "-",
+                     _estimate_cell(speedup, ".2f")])
+    table = render_table(
+        ["bar", "total cycles (95% CI)", "speedup (95% CI)"],
+        rows,
+        title="Sampled estimates (full set in the manifest sidecar)",
+    )
+    return header + "\n" + table
+
+
 def _pc_text(pc: Any) -> str:
     if pc is None:
         return "?"
@@ -235,6 +293,9 @@ def render_report(path, top_spans: int = 12, top_pairs: int = 10) -> str:
                 for cat in CATEGORY_ORDER
             ],
         ))
+
+    for event in _sampler_events(records):
+        sections.append(_render_sampler_section(event, render_table))
 
     ranked_pairs = _dependence_totals(records)[:top_pairs]
     if ranked_pairs:

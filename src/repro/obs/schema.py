@@ -181,6 +181,92 @@ def lint_run_log(path) -> List[str]:
     return issues
 
 
+#: Keys a sampler manifest block's ``params`` must carry (the
+#: ``--sample-*`` flags plus the windows that shaped the estimates).
+REQUIRED_SAMPLER_PARAM_KEYS = (
+    "rate", "strata", "seed", "warmup", "functional_window", "guard",
+)
+
+#: Keys every serialized interval estimate must carry.
+REQUIRED_ESTIMATE_KEYS = ("point", "low", "high", "std_error", "method")
+
+
+def lint_sampler_block(block: Any) -> List[str]:
+    """Structurally lint a manifest's ``sampler`` section.
+
+    Sampled experiments attach their params, achieved record coverage,
+    and per-metric interval estimates to the manifest sidecar; CI and
+    the golden tests lint that block with this the same way run logs
+    are linted — malformed estimates would silently break regression
+    tooling that trusts ``point``/``low``/``high``.
+    """
+    issues: List[str] = []
+    if not isinstance(block, dict):
+        return [f"sampler block is not an object: {type(block).__name__}"]
+    params = block.get("params")
+    if not isinstance(params, dict):
+        issues.append("sampler block has no params object")
+    else:
+        for key in REQUIRED_SAMPLER_PARAM_KEYS:
+            if not _is_number(params.get(key)):
+                issues.append(
+                    f"sampler params[{key!r}] is not a finite number: "
+                    f"{params.get(key)!r}"
+                )
+    coverage = block.get("achieved_coverage")
+    if coverage is not None and (
+        not _is_number(coverage) or coverage < 0
+    ):
+        issues.append(
+            f"achieved_coverage must be a non-negative number, got "
+            f"{coverage!r}"
+        )
+    estimates = block.get("estimates")
+    if not isinstance(estimates, dict) or not estimates:
+        issues.append("sampler block has no estimates")
+        estimates = {}
+    for bar, metrics in estimates.items():
+        if not isinstance(metrics, dict) or not metrics:
+            issues.append(f"estimates[{bar!r}] is not a metric dict")
+            continue
+        for metric, est in metrics.items():
+            where = f"estimates[{bar!r}][{metric!r}]"
+            if not isinstance(est, dict):
+                issues.append(f"{where} is not an estimate object")
+                continue
+            for key in REQUIRED_ESTIMATE_KEYS:
+                if key == "method":
+                    if not isinstance(est.get(key), str):
+                        issues.append(f"{where} has no method string")
+                elif not _is_number(est.get(key)):
+                    issues.append(
+                        f"{where}[{key!r}] is not a finite number: "
+                        f"{est.get(key)!r}"
+                    )
+            if all(_is_number(est.get(k)) for k in
+                   ("point", "low", "high")):
+                if not (est["low"] <= est["point"] <= est["high"]):
+                    issues.append(
+                        f"{where}: point {est['point']} outside its own "
+                        f"interval [{est['low']}, {est['high']}]"
+                    )
+            if _is_number(est.get("std_error")) and est["std_error"] < 0:
+                issues.append(f"{where}: negative std_error")
+    return issues
+
+
+def assert_valid_sampler_block(block: Any, max_shown: int = 20) -> None:
+    """Lint a sampler manifest block; raise :class:`RunLogError`."""
+    issues = lint_sampler_block(block)
+    if issues:
+        shown = issues[:max_shown]
+        text = f"{len(issues)} sampler-block schema issue(s):\n  " + \
+            "\n  ".join(shown)
+        if len(issues) > len(shown):
+            text += f"\n  ... and {len(issues) - len(shown)} more"
+        raise RunLogError(text)
+
+
 def assert_valid_run_log(path, max_shown: int = 20) -> None:
     """Lint and raise :class:`RunLogError` listing the first issues."""
     issues = lint_run_log(path)

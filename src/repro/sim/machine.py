@@ -297,10 +297,71 @@ class Machine:
         # the epoch state is rewound (the journal corrections feed the
         # Failed-cycle attribution the rewind captures).
         self.engine.pre_rewind = self._restore_batch_journal
+        #: Metrics snapshot taken after functional warming (see
+        #: :meth:`functional_warm`), subtracted by ``_collect_stats`` so
+        #: a warmed run reports only measured-phase counters.
+        self._warm_metrics: Optional[Dict[str, float]] = None
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
+
+    def functional_warm(self, workload: WorkloadTrace) -> None:
+        """Replay a warmup prefix *un-timed* into the machine state.
+
+        SMARTS-style functional warming for the trace sampler
+        (:mod:`repro.trace.sampling`): loads, stores, and branches
+        update the L1s, the shared L2 (committed, non-speculative
+        path), and the branch predictors — but no engine events are
+        scheduled and the clock does not advance, so a subsequent
+        :meth:`run` starts at cycle 0 against warm caches, exactly as
+        the measured transactions would have found them mid-workload.
+
+        Epochs are replayed on the CPUs they would run on (logical
+        order, round-robin over the region width) so each private L1
+        warms with its own epochs' lines; stores walk the other L1s'
+        invalidations like the timed write-through path does.  Counter
+        pollution from warming (L1/L2 hit/miss tallies, predictor
+        updates) is snapshotted and subtracted in ``_collect_stats``.
+        """
+        width = self._region_width()
+        l2 = self.l2
+        lines_touched = l2.geom.lines_touched
+        for txn in workload.transactions:
+            for segment in txn.segments:
+                if isinstance(segment, SerialSegment):
+                    assignments = [(0, segment.records)]
+                elif isinstance(segment, ParallelRegion):
+                    assignments = [
+                        (i % width, e.records)
+                        for i, e in enumerate(segment.epochs)
+                    ]
+                else:
+                    raise TypeError(f"unknown segment {segment!r}")
+                for cpu_idx, records in assignments:
+                    cpu = self.cpus[cpu_idx]
+                    l1 = cpu.l1
+                    predictor = cpu.pipeline.predictor
+                    others = self._other_l1s[cpu_idx]
+                    for rec in records:
+                        kind = rec[0]
+                        if kind == Rec.LOAD:
+                            addr, size = rec[1], rec[2]
+                            for tag in lines_touched(addr, size):
+                                if not l1.access(tag):
+                                    l1.fill(tag, spec=False)
+                            l2.load(addr, size, -1, None, False)
+                        elif kind == Rec.STORE:
+                            addr, size = rec[1], rec[2]
+                            for tag in lines_touched(addr, size):
+                                if not l1.access(tag):
+                                    l1.fill(tag, spec=False)
+                                for other in others:
+                                    other.invalidate(tag)
+                            l2.store(addr, size, -1, None)
+                        elif kind == Rec.BRANCH:
+                            predictor.predict_and_update(rec[1], rec[2])
+        self._warm_metrics = self.metrics().snapshot()
 
     def run(self, workload: WorkloadTrace) -> SimulationStats:
         """Replay the workload; returns the aggregated statistics."""
@@ -2221,7 +2282,15 @@ class Machine:
         stats = SimulationStats(n_cpus=self.config.n_cpus)
         stats.total_cycles = self.now
         stats.per_cpu = [cpu.totals for cpu in self.cpus]
-        stats.apply_metrics(self.metrics().snapshot())
+        snapshot = self.metrics().snapshot()
+        if self._warm_metrics is not None:
+            # Functional warming bumped cache/predictor tallies while
+            # the clock stood still; report measured-phase deltas only.
+            snapshot = {
+                name: value - self._warm_metrics.get(name, 0)
+                for name, value in snapshot.items()
+            }
+        stats.apply_metrics(snapshot)
         stats.dependence_pairs = self.engine.profiler.pairs()
         stats.finalize_idle()
         return stats

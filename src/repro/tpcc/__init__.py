@@ -12,7 +12,9 @@ from .driver import (
     STANDARD_MIX,
     GeneratedWorkload,
     generate_mix_workload,
+    generate_sampled_mix_workload,
     generate_workload,
+    mix_type_sequence,
 )
 from .inputs import InputGenerator
 from .loader import TPCCState, create_tables, fresh_database, load
@@ -32,7 +34,9 @@ __all__ = [
     "STANDARD_MIX",
     "GeneratedWorkload",
     "generate_mix_workload",
+    "generate_sampled_mix_workload",
     "generate_workload",
+    "mix_type_sequence",
     "InputGenerator",
     "TPCCState",
     "create_tables",

@@ -12,8 +12,9 @@ transaction sequence under the recorder, producing a
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Set
 
 from ..minidb import Database, EngineOptions
 from ..trace import (
@@ -182,6 +183,89 @@ def generate_mix_workload(
                 break
         builder = TransactionTraceBuilder(
             f"{pick}[{i}]", recorder, tls_mode=tls_mode
+        )
+        result = BENCHMARKS[pick](db, state, builder, gen)
+        result = dict(result)
+        result["_type"] = pick
+        results.append(result)
+        workload.transactions.append(builder.finish())
+    return GeneratedWorkload(
+        trace=workload, db=db, recorder=recorder, results=results
+    )
+
+
+def mix_type_sequence(
+    mix: Optional[Dict[str, float]] = None,
+    n_transactions: int = 10,
+    seed: int = 42,
+) -> List[str]:
+    """The transaction-type sequence of a sampled mix workload.
+
+    Unlike :func:`generate_mix_workload` (whose per-transaction draw
+    interleaves with transaction execution on the shared
+    ``InputGenerator`` RNG), the sampled driver path draws every type
+    up front from a dedicated seeded ``random.Random`` — so the
+    sampler can stratify hundreds of thousands of transactions by type
+    before a single one has been generated.
+    """
+    mix = mix or STANDARD_MIX
+    total = sum(mix.values())
+    if total <= 0:
+        raise ValueError("mix weights must be positive")
+    names = sorted(mix)
+    for name in names:
+        if name not in BENCHMARKS:
+            raise ValueError(f"unknown transaction {name!r} in mix")
+    weights = [mix[name] / total for name in names]
+    rng = random.Random(f"tpcc-mix-types:{seed}")
+    return rng.choices(names, weights=weights, k=n_transactions)
+
+
+def generate_sampled_mix_workload(
+    mix: Optional[Dict[str, float]] = None,
+    tls_mode: bool = True,
+    options: Optional[EngineOptions] = None,
+    n_transactions: int = 10,
+    seed: int = 42,
+    scale: Optional[TPCCScale] = None,
+    costs: Optional[CostModel] = None,
+    n_cpus: int = 4,
+    record_indices: Optional[Set[int]] = None,
+) -> GeneratedWorkload:
+    """A mix workload that *records* only the transactions a sampler
+    will simulate.
+
+    Every transaction executes against the shared database as usual —
+    the recorder is passive, so database state, input-generator draws,
+    and address-map evolution are identical whether or not a
+    transaction's records are kept — but only indices in
+    ``record_indices`` retain their trace (the rest come back as empty
+    placeholder transactions).  Memory therefore scales with the
+    sample + warmup windows, not the workload, which is what makes
+    ``--scale huge`` runs of hundreds of thousands of transactions
+    feasible.  ``record_indices=None`` records everything.
+
+    The type sequence is :func:`mix_type_sequence`; pass the same mix,
+    count, and seed to both to plan the sample before generating.
+    """
+    types = mix_type_sequence(mix, n_transactions, seed)
+    if options is None:
+        options = (
+            EngineOptions.optimized()
+            if tls_mode
+            else EngineOptions.unoptimized()
+        )
+    scale = scale or TPCCScale()
+    recorder = TraceRecorder(costs=costs or default_costs())
+    recorder.scratch_arenas = max(1, n_cpus)
+    db, state = fresh_database(scale, recorder=recorder, options=options)
+    gen = InputGenerator(scale, seed=seed)
+    workload = WorkloadTrace(name="tpcc_mix_sampled")
+    results = []
+    for i, pick in enumerate(types):
+        keep = record_indices is None or i in record_indices
+        builder = TransactionTraceBuilder(
+            f"{pick}[{i}]", recorder, tls_mode=tls_mode, record=keep
         )
         result = BENCHMARKS[pick](db, state, builder, gen)
         result = dict(result)

@@ -46,6 +46,27 @@ class TPCCScale:
         )
 
     @staticmethod
+    def huge() -> "TPCCScale":
+        """Cardinalities for huge-scale *sampled* runs.
+
+        Sized for workloads of hundreds of thousands of transactions
+        (``--scale huge`` with the statistical sampler): a database an
+        order of magnitude past the default, so the working set swamps
+        the simulated L2 and long-run cache behavior is non-trivial,
+        while pure-Python trace generation still sustains hundreds of
+        transactions per second.  ``initial_new_orders`` is deep enough
+        that the standard mix's DELIVERY share (4%) never outruns the
+        NEW ORDER share (45%) refilling the queue.
+        """
+        return TPCCScale(
+            districts=10,
+            customers_per_district=300,
+            items=2000,
+            initial_orders=30,
+            initial_new_orders=60,
+        )
+
+    @staticmethod
     def tiny() -> "TPCCScale":
         """Minimal scale for fast unit tests."""
         return TPCCScale(

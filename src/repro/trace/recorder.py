@@ -188,13 +188,23 @@ class TransactionTraceBuilder:
     """
 
     def __init__(self, name: str, recorder: TraceRecorder,
-                 tls_mode: bool = True):
+                 tls_mode: bool = True, record: bool = True):
         self.name = name
         self.recorder = recorder
         #: When False, epoch boundaries are ignored and everything lands in
-        #: one serial segment (used to build the SEQUENTIAL trace, which has
+        #: one serial segment (used to build the SEQUENTIAL trace, which is
         #: no TLS instructions at all).
         self.tls_mode = tls_mode
+        #: When False, the transaction records normally — so the shared
+        #: recorder's state (PC registry interning order, pending-compute
+        #: flushes) evolves byte-identically to a recorded run — but
+        #: ``finish`` drops the records and returns an empty placeholder
+        #: transaction.  Memory for a muted transaction is transient
+        #: (one transaction's records, freed at ``finish``), which is
+        #: what lets the sampled huge-scale driver path run hundreds of
+        #: thousands of transactions while retaining only the sampled
+        #: windows.
+        self.record = record
         self._trace = TransactionTrace(name=name)
         self._region: Optional[ParallelRegion] = None
         self._serial: Optional[SerialSegment] = None
@@ -243,6 +253,10 @@ class TransactionTraceBuilder:
         self._close_region()
         self._close_serial()
         self.recorder.set_target(None)
+        if not self.record:
+            # Muted transaction: drop the records, keep the placeholder
+            # so transaction indices stay aligned with the full run.
+            return TransactionTrace(name=self.name)
         # Drop empty segments so coverage numbers aren't polluted.
         self._trace.segments = [
             s for s in self._trace.segments if s.instruction_count > 0

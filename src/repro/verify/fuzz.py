@@ -139,13 +139,18 @@ def _random_records(
 
 
 def random_workload(
-    rng: random.Random, profile: str = "default"
+    rng: random.Random, profile: str = "default",
+    n_transactions: Optional[int] = None,
 ) -> WorkloadTrace:
+    """A random workload; ``n_transactions`` overrides the default 1-2
+    draw (the sampling axis needs a population worth stratifying)."""
     high_violation = profile == "high-violation"
     shared_bias = 0.85 if high_violation else 0.55
     min_ops, max_ops = (12, 60) if high_violation else (4, 40)
     workload = WorkloadTrace(name="fuzz")
-    for t in range(rng.randint(1, 2)):
+    if n_transactions is None:
+        n_transactions = rng.randint(1, 2)
+    for t in range(n_transactions):
         txn = TransactionTrace(name=f"FUZZ-{t}")
         txn.segments.append(
             SerialSegment(records=_random_records(rng, owner=99, n_ops=rng.randint(1, 8)))
@@ -510,6 +515,112 @@ def run_seed(
     return failures
 
 
+def run_sampling_seed(seed: int, profile: str = "default"
+                      ) -> Optional[str]:
+    """The sampling fuzz axis: exhaustive vs. estimated metric totals.
+
+    Draws a random workload big enough to stratify (8-14 transactions)
+    and runs it under the BASELINE mode three ways:
+
+    1. **Exhaustively** — the reference totals.
+    2. **Per unit, exactly** — every transaction's marginal value via
+       full-prefix warmup (``warmup=-1``).  These must sum back to the
+       exhaustive totals *exactly* (the telescoping identity); any gap
+       is a warmup/slicing bug, flagged at float tolerance.
+    3. **Sampled at rate 0.25** — the estimate must land inside a
+       widened 3-sigma interval around the exhaustive value, where
+       sigma is the *true* stratified sampling deviation computed from
+       the step-2 unit values (the estimator's own reported std error
+       is useless on spiky fuzz workloads: a stratum whose two sampled
+       values happen to agree reports zero variance).  A zero true
+       sigma therefore demands near-exact equality — a strong check.
+
+    Returns the failure message, or None when every metric agrees.
+    """
+    import math
+
+    from ..harness.runner import JobRunner
+    from ..harness.sampled import (
+        METRICS,
+        append_unit_jobs,
+        estimate_workload,
+        metric_vector,
+        unit_values,
+    )
+    from ..trace.sampling import (
+        SamplerConfig,
+        build_plan,
+        transaction_density,
+    )
+
+    rng = random.Random(f"sampling-axis:{seed}")
+    workload = random_workload(
+        rng, profile=profile, n_transactions=rng.randint(8, 14)
+    )
+    try:
+        assert_clean(workload)
+    except TraceLintError as exc:
+        return f"seed {seed}: lint: {exc}"
+    base = random_machine_config(rng, profile=profile)
+    config = MachineConfig.for_mode(ExecutionMode.BASELINE, base=base)
+    n = len(workload.transactions)
+    runner = JobRunner()
+    exact_cfg = SamplerConfig(rate=1.0, warmup=-1, functional_window=-1)
+    try:
+        exact = metric_vector(Machine(config).run(workload))
+        full_plan = build_plan(n, exact_cfg)
+        jobs: List = []
+        pairs = append_unit_jobs(workload, config, full_plan, jobs)
+        values = unit_values(runner.run(jobs), pairs)
+        sampler = SamplerConfig(
+            rate=0.25, strata=2, seed=seed, warmup=-1,
+            functional_window=-1,
+        )
+        plan = build_plan(
+            n, sampler, density=transaction_density(workload)
+        )
+        estimates, _plan, _acct = estimate_workload(
+            workload, config, sampler, runner=runner, plan=plan
+        )
+    except Exception as exc:  # sampler crash is a finding too
+        return f"seed {seed}: {type(exc).__name__}: {exc}"
+    bad = []
+    for metric in METRICS:
+        telescoped = math.fsum(values[i][metric] for i in range(n))
+        if abs(telescoped - exact[metric]) > 1e-6 * max(
+            1.0, abs(exact[metric])
+        ):
+            bad.append(
+                f"{metric}: unit values sum to {telescoped:.6g}, "
+                f"exhaustive total is {exact[metric]:.6g}"
+            )
+            continue
+        variance = 0.0
+        for stratum in plan.strata:
+            xs = [values[i][metric] for i in stratum.units]
+            n_pop, n_smp = len(xs), len(stratum.sampled)
+            if n_smp == 0 or n_smp >= n_pop or n_pop < 2:
+                continue
+            mean = math.fsum(xs) / n_pop
+            s2 = math.fsum((x - mean) ** 2 for x in xs) / (n_pop - 1)
+            variance += n_pop * (n_pop - n_smp) * s2 / n_smp
+        sigma = math.sqrt(variance)
+        est = estimates[metric]
+        tolerance = (
+            3.0 * sigma
+            + sampler.guard * abs(est.point)
+            + 1e-6 * max(1.0, abs(exact[metric]))
+        )
+        if abs(est.point - exact[metric]) > tolerance:
+            bad.append(
+                f"{metric}: estimate {est.point:.6g} vs exhaustive "
+                f"{exact[metric]:.6g} (tolerance {tolerance:.6g})"
+            )
+    if bad:
+        return f"seed {seed}: sampled estimate off: " + "; ".join(bad)
+    return None
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.verify.fuzz",
@@ -533,8 +644,30 @@ def main(argv=None) -> int:
                         help="directory for minimized repro files")
     parser.add_argument("--repro", type=Path, default=None, metavar="FILE",
                         help="replay one repro file instead of fuzzing")
+    parser.add_argument("--sampling", action="store_true",
+                        help="fuzz the statistical sampler instead: per "
+                             "seed, compare exhaustive metric totals "
+                             "against rate-0.25 stratified estimates "
+                             "(repro.trace.sampling) and flag any metric "
+                             "outside a widened 3-sigma interval")
     parser.add_argument("-q", "--quiet", action="store_true")
     args = parser.parse_args(argv)
+
+    if args.sampling:
+        sampling_failures: List[str] = []
+        for seed in range(args.start, args.start + args.seeds):
+            error = run_sampling_seed(seed, profile=args.profile)
+            if error is not None:
+                sampling_failures.append(error)
+                print(f"FAIL {error}")
+            elif not args.quiet:
+                print(f"ok   seed {seed}")
+        if sampling_failures:
+            print(f"\n{len(sampling_failures)} failure(s) over "
+                  f"{args.seeds} seeds")
+            return 1
+        print(f"\nall {args.seeds} sampling seeds passed")
+        return 0
 
     if args.repro is not None:
         error = run_repro(args.repro)

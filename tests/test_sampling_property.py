@@ -1,0 +1,187 @@
+"""Property-based invariants of the trace sampler (hypothesis).
+
+The sampler's correctness rests on algebraic invariants that hold for
+*every* population, not just the traces the differential suite happens
+to simulate:
+
+* plans **partition** the unit population exactly — no unit dropped, no
+  unit double-counted, cold certainty stratum included;
+* per-stratum allocations respect ``min(N_h, min_per_stratum) <= n_h
+  <= N_h``, and ``rate >= 1`` degenerates to full coverage;
+* plans are **deterministic** (pure functions of their inputs) and
+  estimates are **permutation-invariant** in the values mapping's
+  insertion order;
+* a full-coverage plan's estimate equals the population sum with zero
+  sampling variance (only the multiplicative guard widens the CI);
+* t quantiles are monotone non-increasing in df and never dip below
+  the normal 1.96.
+
+Generators are shrinking-friendly: strategies draw small integers and
+bounded floats so failing examples minimize toward tiny populations.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.trace.sampling import (
+    Estimate,
+    SamplerConfig,
+    build_plan,
+    estimate_total,
+    t_quantile_95,
+)
+
+#: Bounded, finite metric values — wide enough to exercise variance
+#: arithmetic, bounded so shrinking heads toward small magnitudes.
+metric_values = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def configs(draw):
+    return SamplerConfig(
+        rate=draw(st.floats(min_value=0.05, max_value=1.5)),
+        strata=draw(st.integers(min_value=1, max_value=5)),
+        seed=draw(st.integers(min_value=0, max_value=10)),
+        min_per_stratum=draw(st.integers(min_value=1, max_value=3)),
+        cold_units=draw(st.integers(min_value=0, max_value=4)),
+    )
+
+
+@st.composite
+def populations(draw):
+    """(n_units, config, density, labels) with consistent lengths."""
+    n_units = draw(st.integers(min_value=1, max_value=40))
+    config = draw(configs())
+    density = draw(
+        st.one_of(
+            st.none(),
+            st.lists(
+                st.floats(min_value=0.0, max_value=100.0,
+                          allow_nan=False),
+                min_size=n_units, max_size=n_units,
+            ),
+        )
+    )
+    labels = draw(
+        st.one_of(
+            st.none(),
+            st.lists(
+                st.sampled_from(["new_order", "payment", "delivery"]),
+                min_size=n_units, max_size=n_units,
+            ),
+        )
+    )
+    return n_units, config, density, labels
+
+
+@given(populations())
+def test_plan_partitions_units_exactly(pop):
+    """Every unit lands in exactly one stratum; samples are subsets."""
+    n_units, config, density, labels = pop
+    plan = build_plan(n_units, config, density=density, labels=labels)
+    seen = []
+    for s in plan.strata:
+        assert s.units, f"empty stratum {s.key}"
+        assert set(s.sampled) <= set(s.units)
+        seen.extend(s.units)
+    assert sorted(seen) == list(range(n_units)), (
+        "strata must partition the population: no drops, no duplicates"
+    )
+
+
+@given(populations())
+def test_allocation_bounds(pop):
+    """min(N_h, min_per_stratum) <= n_h <= N_h in every stratum."""
+    n_units, config, density, labels = pop
+    plan = build_plan(n_units, config, density=density, labels=labels)
+    for s in plan.strata:
+        n_h, pop_h = len(s.sampled), len(s.units)
+        if s.key[0] == "__cold__":
+            assert n_h == pop_h, "cold stratum must be take-all"
+            continue
+        assert min(pop_h, config.min_per_stratum) <= n_h <= pop_h
+
+
+@given(populations())
+def test_rate_one_covers_all(pop):
+    n_units, config, density, labels = pop
+    if config.rate < 1.0:
+        config = SamplerConfig(
+            rate=1.0, strata=config.strata, seed=config.seed,
+            min_per_stratum=config.min_per_stratum,
+            cold_units=config.cold_units,
+        )
+    plan = build_plan(n_units, config, density=density, labels=labels)
+    assert plan.covers_all
+    assert plan.sampled_units == tuple(range(n_units))
+
+
+@given(populations())
+def test_plan_is_deterministic(pop):
+    n_units, config, density, labels = pop
+    a = build_plan(n_units, config, density=density, labels=labels)
+    b = build_plan(n_units, config, density=density, labels=labels)
+    assert a == b
+
+
+@given(populations(), st.randoms(use_true_random=False))
+@settings(max_examples=50)
+def test_estimate_is_permutation_invariant(pop, rnd):
+    """estimate_total must not depend on dict insertion order."""
+    n_units, config, density, labels = pop
+    plan = build_plan(n_units, config, density=density, labels=labels)
+    units = list(plan.sampled_units)
+    values = {i: float((i * 37 + 11) % 101) for i in units}
+    shuffled_keys = list(values)
+    rnd.shuffle(shuffled_keys)
+    shuffled = {i: values[i] for i in shuffled_keys}
+    a = estimate_total(plan, values)
+    b = estimate_total(plan, shuffled)
+    assert a == b
+
+
+@given(
+    st.integers(min_value=1, max_value=30),
+    st.lists(metric_values, min_size=30, max_size=30),
+    configs(),
+)
+def test_full_coverage_estimate_is_the_exact_sum(n_units, raw, config):
+    """covers_all => point == population sum, zero sampling variance."""
+    config = SamplerConfig(
+        rate=1.0, strata=config.strata, seed=config.seed,
+        min_per_stratum=config.min_per_stratum,
+        cold_units=config.cold_units,
+    )
+    plan = build_plan(n_units, config)
+    values = {i: raw[i] for i in range(n_units)}
+    est = estimate_total(plan, values)
+    exact = math.fsum(values.values())
+    assert est.std_error == 0.0
+    assert math.isclose(est.point, exact, rel_tol=1e-12, abs_tol=1e-9)
+    # The CI is only as wide as the multiplicative guard.
+    assert est.half_width <= config.guard * abs(est.point) + 1e-9
+
+
+@given(st.integers(min_value=1, max_value=200))
+def test_t_quantile_monotone_and_bounded(df):
+    q = t_quantile_95(df)
+    assert q >= t_quantile_95(df + 1) - 1e-12
+    assert q >= 1.96
+    assert q <= t_quantile_95(max(df - 1, 1)) + 1e-12
+
+
+@given(populations())
+@settings(max_examples=50)
+def test_estimate_interval_contains_point(pop):
+    n_units, config, density, labels = pop
+    plan = build_plan(n_units, config, density=density, labels=labels)
+    values = {i: float(i % 7) for i in plan.sampled_units}
+    est = estimate_total(plan, values)
+    assert isinstance(est, Estimate)
+    assert est.low <= est.point <= est.high
+    assert est.std_error >= 0.0
