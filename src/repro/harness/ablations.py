@@ -57,19 +57,31 @@ class SweepResult:
         )
 
 
-def run_victim_cache_ablation(
-    ctx: Optional[ExperimentContext] = None,
+#: A1's default geometry sweep (victim-cache entries).
+VICTIM_SIZES = (0, 4, 16, 64, 256)
+
+
+def victim_cache_jobs(
+    ctx: ExperimentContext,
     benchmark: str = "delivery_outer",
-    sizes=(0, 4, 16, 64, 256),
-) -> SweepResult:
-    """A1: sweep the speculative victim cache size."""
-    ctx = ctx or ExperimentContext()
+    sizes=VICTIM_SIZES,
+) -> List[SimJob]:
     spec = ctx.spec(benchmark, mode=ExecutionMode.BASELINE)
-    stats_list = ctx.run(
+    return [
         SimJob(config=replace(MachineConfig(), victim_entries=size),
                spec=spec)
         for size in sizes
-    )
+    ]
+
+
+def run_victim_cache_ablation(
+    ctx: Optional[ExperimentContext] = None,
+    benchmark: str = "delivery_outer",
+    sizes=VICTIM_SIZES,
+) -> SweepResult:
+    """A1: sweep the speculative victim cache size."""
+    ctx = ctx or ExperimentContext()
+    stats_list = ctx.run(victim_cache_jobs(ctx, benchmark, sizes))
     result = SweepResult(
         title=f"A1 — victim-cache size sweep ({benchmark})",
         parameter="entries",
@@ -88,6 +100,19 @@ def run_victim_cache_ablation(
     return result
 
 
+def start_cost_jobs(
+    ctx: ExperimentContext,
+    benchmark: str = "new_order",
+    costs=(0, 10, 50, 200, 1000),
+) -> List[SimJob]:
+    spec = ctx.spec(benchmark, mode=ExecutionMode.BASELINE)
+    return [
+        SimJob(config=MachineConfig().with_tls(subthread_start_cost=cost),
+               spec=spec)
+        for cost in costs
+    ]
+
+
 def run_start_cost_ablation(
     ctx: Optional[ExperimentContext] = None,
     benchmark: str = "new_order",
@@ -95,12 +120,7 @@ def run_start_cost_ablation(
 ) -> SweepResult:
     """A2: sweep the cycles charged per sub-thread checkpoint."""
     ctx = ctx or ExperimentContext()
-    spec = ctx.spec(benchmark, mode=ExecutionMode.BASELINE)
-    stats_list = ctx.run(
-        SimJob(config=MachineConfig().with_tls(subthread_start_cost=cost),
-               spec=spec)
-        for cost in costs
-    )
+    stats_list = ctx.run(start_cost_jobs(ctx, benchmark, costs))
     result = SweepResult(
         title=f"A2 — sub-thread start cost sweep ({benchmark})",
         parameter="cycles/checkpoint",
@@ -116,24 +136,14 @@ def run_start_cost_ablation(
     return result
 
 
-def run_overlap_loads_ablation(
-    ctx: Optional[ExperimentContext] = None,
+def overlap_loads_jobs(
+    ctx: ExperimentContext,
     benchmark: str = "stock_level",
-) -> SweepResult:
-    """A6: blocking vs overlapped (MSHR/ROB-windowed) load misses.
-
-    The paper's detailed out-of-order cores overlap independent misses;
-    our default trace-driven model blocks on loads (the sound choice for
-    value-free traces).  This ablation bounds how much that simplification
-    costs, using the bounded-window overlap model.  Both TLS modes get
-    the same treatment, so Figure 5's *relative* results are insensitive
-    to the choice.
-    """
-    ctx = ctx or ExperimentContext()
+    models=(("blocking (default)", False),
+            ("overlapped (MSHR=8, ROB window)", True)),
+) -> List[SimJob]:
     tls_spec = ctx.spec(benchmark, mode=ExecutionMode.BASELINE)
     seq_spec = ctx.spec(benchmark, mode=ExecutionMode.SEQUENTIAL)
-    models = (("blocking (default)", False),
-              ("overlapped (MSHR=8, ROB window)", True))
     jobs = []
     for _label, overlap in models:
         jobs.append(SimJob(
@@ -150,7 +160,26 @@ def run_overlap_loads_ablation(
             ),
             spec=tls_spec,
         ))
-    stats_list = iter(ctx.run(jobs))
+    return jobs
+
+
+def run_overlap_loads_ablation(
+    ctx: Optional[ExperimentContext] = None,
+    benchmark: str = "stock_level",
+) -> SweepResult:
+    """A6: blocking vs overlapped (MSHR/ROB-windowed) load misses.
+
+    The paper's detailed out-of-order cores overlap independent misses;
+    our default trace-driven model blocks on loads (the sound choice for
+    value-free traces).  This ablation bounds how much that simplification
+    costs, using the bounded-window overlap model.  Both TLS modes get
+    the same treatment, so Figure 5's *relative* results are insensitive
+    to the choice.
+    """
+    ctx = ctx or ExperimentContext()
+    models = (("blocking (default)", False),
+              ("overlapped (MSHR=8, ROB window)", True))
+    stats_list = iter(ctx.run(overlap_loads_jobs(ctx, benchmark, models)))
     result = SweepResult(
         title=f"A6 — load-miss overlap model ({benchmark})",
         parameter="model",
@@ -176,6 +205,24 @@ def run_overlap_loads_ablation(
     return result
 
 
+def adaptive_spacing_jobs(
+    ctx: ExperimentContext,
+    benchmarks=("new_order", "new_order_150", "delivery_outer"),
+) -> List[SimJob]:
+    jobs = []
+    for benchmark in benchmarks:
+        spec = ctx.spec(benchmark, mode=ExecutionMode.BASELINE)
+        jobs.append(SimJob(
+            config=MachineConfig.for_mode(ExecutionMode.BASELINE),
+            spec=spec,
+        ))
+        jobs.append(SimJob(
+            config=MachineConfig().with_tls(adaptive_spacing=True),
+            spec=spec,
+        ))
+    return jobs
+
+
 def run_adaptive_spacing_ablation(
     ctx: Optional[ExperimentContext] = None,
     benchmarks=("new_order", "new_order_150", "delivery_outer"),
@@ -189,18 +236,7 @@ def run_adaptive_spacing_ablation(
     and compare against the fixed-spacing baseline per benchmark.
     """
     ctx = ctx or ExperimentContext()
-    jobs = []
-    for benchmark in benchmarks:
-        spec = ctx.spec(benchmark, mode=ExecutionMode.BASELINE)
-        jobs.append(SimJob(
-            config=MachineConfig.for_mode(ExecutionMode.BASELINE),
-            spec=spec,
-        ))
-        jobs.append(SimJob(
-            config=MachineConfig().with_tls(adaptive_spacing=True),
-            spec=spec,
-        ))
-    stats_list = iter(ctx.run(jobs))
+    stats_list = iter(ctx.run(adaptive_spacing_jobs(ctx, benchmarks)))
     result = SweepResult(
         title="A5 — adaptive sub-thread spacing",
         parameter="benchmark",
@@ -223,6 +259,22 @@ def run_adaptive_spacing_ablation(
     return result
 
 
+def l1_tracking_jobs(
+    ctx: ExperimentContext,
+    benchmark: str = "new_order_150",
+    designs=(("sub-thread-unaware (paper)", False),
+             ("per-sub-thread tracking", True)),
+) -> List[SimJob]:
+    spec = ctx.spec(benchmark, mode=ExecutionMode.BASELINE)
+    return [
+        SimJob(
+            config=replace(MachineConfig(), l1_subthread_tracking=tracking),
+            spec=spec,
+        )
+        for _label, tracking in designs
+    ]
+
+
 def run_l1_tracking_ablation(
     ctx: Optional[ExperimentContext] = None,
     benchmark: str = "new_order_150",
@@ -235,18 +287,11 @@ def run_l1_tracking_ablation(
     both designs; the expected result is a marginal difference.
     """
     ctx = ctx or ExperimentContext()
-    spec = ctx.spec(benchmark, mode=ExecutionMode.BASELINE)
     designs = (
         ("sub-thread-unaware (paper)", False),
         ("per-sub-thread tracking", True),
     )
-    stats_list = ctx.run(
-        SimJob(
-            config=replace(MachineConfig(), l1_subthread_tracking=tracking),
-            spec=spec,
-        )
-        for _label, tracking in designs
-    )
+    stats_list = ctx.run(l1_tracking_jobs(ctx, benchmark, designs))
     result = SweepResult(
         title=f"A4 — L1 sub-thread tracking ({benchmark})",
         parameter="L1 design",
@@ -265,6 +310,21 @@ def run_l1_tracking_ablation(
     return result
 
 
+def load_granularity_jobs(
+    ctx: ExperimentContext,
+    benchmark: str = "new_order",
+    granularities=(("line (paper)", True), ("word", False)),
+) -> List[SimJob]:
+    spec = ctx.spec(benchmark, mode=ExecutionMode.BASELINE)
+    return [
+        SimJob(
+            config=MachineConfig().with_tls(line_granularity_loads=gran),
+            spec=spec,
+        )
+        for _label, gran in granularities
+    ]
+
+
 def run_load_granularity_ablation(
     ctx: Optional[ExperimentContext] = None,
     benchmark: str = "new_order",
@@ -276,14 +336,9 @@ def run_load_granularity_ablation(
     alternative.  This quantifies the false-sharing cost.
     """
     ctx = ctx or ExperimentContext()
-    spec = ctx.spec(benchmark, mode=ExecutionMode.BASELINE)
     granularities = (("line (paper)", True), ("word", False))
     stats_list = ctx.run(
-        SimJob(
-            config=MachineConfig().with_tls(line_granularity_loads=gran),
-            spec=spec,
-        )
-        for _label, gran in granularities
+        load_granularity_jobs(ctx, benchmark, granularities)
     )
     result = SweepResult(
         title=f"A3 — load-tracking granularity ({benchmark})",
@@ -301,3 +356,15 @@ def run_load_granularity_ablation(
             )
         )
     return result
+
+
+#: (title, job-list builder) per ablation, in the order the
+#: ``ablations`` experiment runs them — ``--dry-run`` enumerates these.
+ABLATION_JOB_BUILDERS = (
+    ("A1 — victim-cache size sweep", victim_cache_jobs),
+    ("A2 — sub-thread start cost sweep", start_cost_jobs),
+    ("A3 — load-tracking granularity", load_granularity_jobs),
+    ("A4 — L1 sub-thread tracking", l1_tracking_jobs),
+    ("A5 — adaptive sub-thread spacing", adaptive_spacing_jobs),
+    ("A6 — load-miss overlap model", overlap_loads_jobs),
+)

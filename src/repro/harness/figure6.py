@@ -141,13 +141,16 @@ def run_figure6_paper_size(
     return result
 
 
-def run_figure6(
-    ctx: Optional[ExperimentContext] = None,
+def figure6_jobs(
+    ctx: ExperimentContext,
     benchmarks: Tuple[str, ...] = FIGURE6_BENCHMARKS,
     counts: Tuple[int, ...] = SUBTHREAD_COUNTS,
     spacings: Tuple[int, ...] = SPACINGS,
-) -> Figure6Result:
-    ctx = ctx or ExperimentContext()
+) -> List[SimJob]:
+    """The full Figure 6 job list: per benchmark, one SEQUENTIAL
+    baseline followed by every (count, spacing) TLS cell in grid order.
+    Shared by the sweep driver, ``--dry-run``, and the pruning planner.
+    """
     jobs = []
     for benchmark in benchmarks:
         jobs.append(SimJob(
@@ -163,6 +166,17 @@ def run_figure6(
                     ),
                     spec=tls_spec,
                 ))
+    return jobs
+
+
+def run_figure6(
+    ctx: Optional[ExperimentContext] = None,
+    benchmarks: Tuple[str, ...] = FIGURE6_BENCHMARKS,
+    counts: Tuple[int, ...] = SUBTHREAD_COUNTS,
+    spacings: Tuple[int, ...] = SPACINGS,
+) -> Figure6Result:
+    ctx = ctx or ExperimentContext()
+    jobs = figure6_jobs(ctx, benchmarks, counts, spacings)
     stats_list = iter(ctx.run(jobs))
     result = Figure6Result()
     for benchmark in benchmarks:

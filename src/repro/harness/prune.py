@@ -1,0 +1,717 @@
+"""Predictor-guided sweep pruning (``--prune`` / ``--dry-run``).
+
+The full Figure 6 grid re-simulates every (sub-thread count, spacing)
+cell; :mod:`repro.trace.reuse` predicts cell quality from one cheap
+pass over the trace.  This module turns those predictions into a sweep
+*plan*: rank all grid cells analytically, simulate only the predicted
+frontier plus a small validation sample, and record the
+predicted-vs-simulated error per metric in the manifest sidecar so the
+model's honesty is machine-checked on every pruned run.
+
+The frontier policy is deliberately simple and was validated against
+the pinned tiny- and default-scale grids (see docs/performance.md):
+
+* per sub-thread count, keep the predicted-best spacing (the paper's
+  per-N curves each get one representative);
+* fill with the globally cheapest remaining cells up to ``top_k``;
+* re-simulate a validation sample spread across the *skipped* cost
+  order (best-skipped and worst-skipped by default), so the recorded
+  error covers the cells the model was trusted about.
+
+With the default 3x4 grid this dispatches 6 of 12 cells per benchmark
+(50%), and on both pinned grids the simulated set still contains every
+benchmark's true best cell.
+
+The A1 victim-cache ablation is pruned the same way from the victim
+pressure model: rank sizes by predicted overflow risk, simulate the
+predicted-best size plus the predicted-worst skipped one (the overflow
+cliff at size 0 and the plateau past the spill population).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import ClassVar, Dict, List, Optional, Sequence, Tuple
+
+from ..sim import ExecutionMode, MachineConfig, SimulationStats
+from ..tpcc import DISPLAY_NAMES
+from ..trace.reuse import (
+    FAR_DEP_WEIGHT,
+    RETRY_FLOOR,
+    RETRY_GAIN,
+    VIOLATION_PENALTY,
+    CachePoint,
+    ReuseProfile,
+    predict_cache,
+    profile_workload,
+    subthread_violation_cost,
+)
+from .ablations import VICTIM_SIZES, SweepPoint, victim_cache_jobs
+from .figure6 import (
+    FIGURE6_BENCHMARKS,
+    SPACINGS,
+    SUBTHREAD_COUNTS,
+    figure6_jobs,
+)
+from .report import render_table
+from .runner import ExperimentContext, SimJob
+
+#: Cell roles in a pruned sweep plan.
+ROLE_FRONTIER = "frontier"
+ROLE_VALIDATION = "validation"
+ROLE_SKIPPED = "skipped"
+
+
+@dataclass(frozen=True)
+class PruneOptions:
+    """``--prune`` knobs.
+
+    ``top_k`` caps the simulated frontier per benchmark; ``validation``
+    is the number of *skipped* cells re-simulated anyway to measure the
+    predictor's error (spread over the skipped cost order, so it always
+    includes the best and worst skipped cell).
+    """
+
+    top_k: int = 4
+    validation: int = 2
+
+
+def profile_for(
+    ctx: ExperimentContext, benchmark: str,
+    config: Optional[MachineConfig] = None,
+) -> ReuseProfile:
+    """The reuse profile of one benchmark's TLS trace, using the stock
+    machine's L1 filter and CPU count."""
+    config = config or MachineConfig()
+    trace = ctx.trace(benchmark, tls_mode=True)
+    l1 = config.l1_geometry()
+    return profile_workload(
+        trace,
+        line_size=config.line_size,
+        l1_lines=l1.size_bytes // l1.line_size,
+        n_cpus=config.n_cpus,
+    )
+
+
+def _model_params() -> Dict[str, float]:
+    return {
+        "retry_gain": RETRY_GAIN,
+        "retry_floor": RETRY_FLOOR,
+        "far_dep_weight": FAR_DEP_WEIGHT,
+        "violation_penalty": VIOLATION_PENALTY,
+    }
+
+
+def _pick_spread(ordered: Sequence, k: int) -> List:
+    """k items spread evenly over a sequence, always including the last
+    (worst) item; k >= 2 also includes the first (best)."""
+    n = len(ordered)
+    if k <= 0 or n == 0:
+        return []
+    if k >= n:
+        return list(ordered)
+    if k == 1:
+        return [ordered[-1]]
+    picks = sorted({round(i * (n - 1) / (k - 1)) for i in range(k)})
+    return [ordered[i] for i in picks]
+
+
+@dataclass
+class CellPlan:
+    """One grid cell's analytical ranking entry."""
+
+    benchmark: str
+    subthreads: int
+    spacing: int
+    #: Predicted violation cost per speculative instruction (lower is
+    #: better); the ranking key within one benchmark.
+    cost: float
+    #: 0-based position in the per-benchmark cost order.
+    rank: int
+    role: str  # frontier | validation | skipped
+
+
+def plan_figure6_cells(
+    profile: ReuseProfile,
+    benchmark: str,
+    counts: Tuple[int, ...] = SUBTHREAD_COUNTS,
+    spacings: Tuple[int, ...] = SPACINGS,
+    options: PruneOptions = PruneOptions(),
+) -> List[CellPlan]:
+    """Rank one benchmark's (count, spacing) grid; assign roles.
+
+    Ties break deterministically by grid position (count order, then
+    spacing order), so plans are stable across runs and platforms.
+    """
+    cells = [(count, spacing) for count in counts for spacing in spacings]
+    costs = {
+        cell: subthread_violation_cost(profile, cell[0], cell[1])
+        for cell in cells
+    }
+    order = sorted(
+        cells,
+        key=lambda c: (costs[c], counts.index(c[0]), spacings.index(c[1])),
+    )
+    frontier = []
+    for count in counts:
+        best = next(c for c in order if c[0] == count)
+        if best not in frontier:
+            frontier.append(best)
+    for cell in order:
+        if len(frontier) >= max(options.top_k, len(frontier)):
+            break
+        if cell not in frontier:
+            frontier.append(cell)
+    skipped_order = [c for c in order if c not in frontier]
+    validation = _pick_spread(skipped_order, options.validation)
+    plans = []
+    for cell in cells:
+        if cell in frontier:
+            role = ROLE_FRONTIER
+        elif cell in validation:
+            role = ROLE_VALIDATION
+        else:
+            role = ROLE_SKIPPED
+        plans.append(CellPlan(
+            benchmark=benchmark,
+            subthreads=cell[0],
+            spacing=cell[1],
+            cost=costs[cell],
+            rank=order.index(cell),
+            role=role,
+        ))
+    return plans
+
+
+@dataclass
+class SimulatedCell:
+    """One simulated cell of a pruned Figure 6, with its prediction."""
+
+    benchmark: str
+    subthreads: int
+    spacing: int
+    role: str
+    predicted_cost: float
+    predicted_miss_ratio: float
+    simulated_miss_ratio: float
+    miss_ratio_error: float
+    normalized: float
+    failed_fraction: float
+    primary_violations: int
+
+
+def _miss_ratio(stats: SimulationStats) -> float:
+    accesses = stats.l2_hits + stats.l2_misses
+    return 0.0 if accesses == 0 else stats.l2_misses / accesses
+
+
+def _error_block(cells: List[SimulatedCell]) -> Dict[str, Dict[str, float]]:
+    validation = [c for c in cells if c.role == ROLE_VALIDATION]
+    sample = validation or cells
+    errors = [c.miss_ratio_error for c in sample]
+    all_errors = [c.miss_ratio_error for c in cells]
+    return {
+        "l2_miss_ratio": {
+            "mae": math.fsum(errors) / max(1, len(errors)),
+            "max_abs": max(errors, default=0.0),
+            "cells": len(sample),
+            "mae_all_simulated": (
+                math.fsum(all_errors) / max(1, len(all_errors))
+            ),
+        },
+    }
+
+
+@dataclass
+class PrunedFigure6Result:
+    """A pruned Figure 6: simulated cells + the full analytical plan."""
+
+    #: Manifest sidecar section name (``__main__`` attaches
+    #: ``manifest_block()`` under this key).
+    MANIFEST_KEY: ClassVar[str] = "predictor"
+
+    cells: List[SimulatedCell] = field(default_factory=list)
+    sequential_cycles: Dict[str, float] = field(default_factory=dict)
+    plans: List[CellPlan] = field(default_factory=list)
+    params: Dict[str, float] = field(default_factory=dict)
+    grid_cells: int = 0
+    simulated_cells: int = 0
+
+    @property
+    def dispatch_fraction(self) -> float:
+        if self.grid_cells == 0:
+            return 0.0
+        return self.simulated_cells / self.grid_cells
+
+    def best_cell(self, benchmark: str) -> SimulatedCell:
+        return min(
+            (c for c in self.cells if c.benchmark == benchmark),
+            key=lambda c: c.normalized,
+        )
+
+    def errors(self) -> Dict[str, Dict[str, float]]:
+        return _error_block(self.cells)
+
+    def manifest_block(self) -> dict:
+        return {
+            "params": dict(self.params),
+            "grid_cells": self.grid_cells,
+            "simulated_cells": self.simulated_cells,
+            "dispatch_fraction": self.dispatch_fraction,
+            "errors": self.errors(),
+        }
+
+    def render(self) -> str:
+        sections = []
+        for benchmark in dict.fromkeys(p.benchmark for p in self.plans):
+            rows = []
+            for plan in sorted(
+                (p for p in self.plans if p.benchmark == benchmark),
+                key=lambda p: p.rank,
+            ):
+                row = [
+                    f"{plan.subthreads} @ {plan.spacing}",
+                    f"{plan.cost:.4f}",
+                    plan.role,
+                ]
+                if plan.role == ROLE_SKIPPED:
+                    row.append("-")
+                else:
+                    cell = next(
+                        c for c in self.cells
+                        if (c.benchmark, c.subthreads, c.spacing)
+                        == (benchmark, plan.subthreads, plan.spacing)
+                    )
+                    row.append(f"{cell.normalized:.4f}")
+                rows.append(row)
+            sections.append(render_table(
+                ["cell", "pred. cost", "role", "norm. time"],
+                rows,
+                title=(
+                    "Figure 6 (pruned) — "
+                    f"{DISPLAY_NAMES[benchmark]}"
+                ),
+            ))
+            sections.append("")
+        err = self.errors()["l2_miss_ratio"]
+        sections.append(
+            f"dispatched {self.simulated_cells}/{self.grid_cells} cells "
+            f"({self.dispatch_fraction:.0%}); validation miss-ratio "
+            f"MAE {err['mae']:.4f} (max {err['max_abs']:.4f} over "
+            f"{err['cells']} cells)"
+        )
+        return "\n".join(sections)
+
+
+def run_figure6_pruned(
+    ctx: Optional[ExperimentContext] = None,
+    benchmarks: Tuple[str, ...] = FIGURE6_BENCHMARKS,
+    counts: Tuple[int, ...] = SUBTHREAD_COUNTS,
+    spacings: Tuple[int, ...] = SPACINGS,
+    options: PruneOptions = PruneOptions(),
+) -> PrunedFigure6Result:
+    """Figure 6 with predictor-guided pruning.
+
+    Profiles each benchmark's TLS trace once, ranks the grid
+    analytically, and dispatches real simulations only for the frontier
+    and validation cells (plus the shared SEQUENTIAL baseline, which
+    the normalizations need either way).
+    """
+    ctx = ctx or ExperimentContext()
+    config = MachineConfig()
+    point = CachePoint.from_config(config)
+    result = PrunedFigure6Result(
+        params={
+            "top_k": options.top_k,
+            "validation": options.validation,
+            "l1_lines": (
+                config.l1_geometry().size_bytes // config.line_size
+            ),
+            "line_size": config.line_size,
+            "n_cpus": config.n_cpus,
+            **_model_params(),
+        },
+    )
+    jobs: List[SimJob] = []
+    per_bench: Dict[str, Tuple[List[CellPlan], float]] = {}
+    for benchmark in benchmarks:
+        profile = profile_for(ctx, benchmark, config)
+        plans = plan_figure6_cells(
+            profile, benchmark, counts, spacings, options
+        )
+        predicted_ratio = predict_cache(
+            profile, point, speculative=True
+        ).l2_miss_ratio
+        per_bench[benchmark] = (plans, predicted_ratio)
+        result.plans.extend(plans)
+        jobs.append(SimJob(
+            config=MachineConfig.for_mode(ExecutionMode.SEQUENTIAL),
+            spec=ctx.spec(benchmark, mode=ExecutionMode.SEQUENTIAL),
+        ))
+        tls_spec = ctx.spec(benchmark, mode=ExecutionMode.BASELINE)
+        for plan in plans:
+            if plan.role == ROLE_SKIPPED:
+                continue
+            jobs.append(SimJob(
+                config=MachineConfig().with_tls(
+                    max_subthreads=plan.subthreads,
+                    subthread_spacing=plan.spacing,
+                ),
+                spec=tls_spec,
+            ))
+    stats_list = iter(ctx.run(jobs))
+    for benchmark in benchmarks:
+        plans, predicted_ratio = per_bench[benchmark]
+        seq = next(stats_list)
+        result.sequential_cycles[benchmark] = seq.total_cycles
+        for plan in plans:
+            if plan.role == ROLE_SKIPPED:
+                continue
+            stats = next(stats_list)
+            simulated_ratio = _miss_ratio(stats)
+            result.cells.append(SimulatedCell(
+                benchmark=benchmark,
+                subthreads=plan.subthreads,
+                spacing=plan.spacing,
+                role=plan.role,
+                predicted_cost=plan.cost,
+                predicted_miss_ratio=predicted_ratio,
+                simulated_miss_ratio=simulated_ratio,
+                miss_ratio_error=abs(predicted_ratio - simulated_ratio),
+                normalized=stats.total_cycles / seq.total_cycles,
+                failed_fraction=stats.breakdown_fractions()["failed"],
+                primary_violations=stats.primary_violations,
+            ))
+    result.grid_cells = len(result.plans)
+    result.simulated_cells = len(result.cells)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# A1 victim-cache sweep pruning
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PointPlan:
+    """One sweep point's analytical ranking entry (A1)."""
+
+    value: int
+    #: Predicted overflow risk (spill population beyond the victim
+    #: capacity); the A1 ranking key — lower is better.
+    cost: float
+    rank: int
+    role: str
+    predicted_miss_ratio: float
+
+
+@dataclass
+class PrunedSweepResult:
+    """A pruned single-parameter sweep (the A1 victim-cache ablation)."""
+
+    MANIFEST_KEY: ClassVar[str] = "predictor"
+
+    title: str = ""
+    parameter: str = ""
+    points: List[SweepPoint] = field(default_factory=list)
+    plans: List[PointPlan] = field(default_factory=list)
+    cells: List[SimulatedCell] = field(default_factory=list)
+    params: Dict[str, float] = field(default_factory=dict)
+    grid_cells: int = 0
+    simulated_cells: int = 0
+
+    @property
+    def dispatch_fraction(self) -> float:
+        if self.grid_cells == 0:
+            return 0.0
+        return self.simulated_cells / self.grid_cells
+
+    def errors(self) -> Dict[str, Dict[str, float]]:
+        return _error_block(self.cells)
+
+    def manifest_block(self) -> dict:
+        return {
+            "params": dict(self.params),
+            "grid_cells": self.grid_cells,
+            "simulated_cells": self.simulated_cells,
+            "dispatch_fraction": self.dispatch_fraction,
+            "errors": self.errors(),
+        }
+
+    def render(self) -> str:
+        simulated = {p.value: p for p in self.points}
+        rows = []
+        for plan in sorted(self.plans, key=lambda p: p.rank):
+            point = simulated.get(plan.value)
+            rows.append([
+                str(plan.value),
+                f"{plan.cost:.2f}",
+                plan.role,
+                "-" if point is None else f"{point.cycles:.0f}",
+            ])
+        err = self.errors()["l2_miss_ratio"]
+        return render_table(
+            [self.parameter, "pred. overflow", "role", "cycles"],
+            rows,
+            title=self.title,
+        ) + (
+            f"\ndispatched {self.simulated_cells}/{self.grid_cells} "
+            f"points ({self.dispatch_fraction:.0%}); miss-ratio MAE "
+            f"{err['mae']:.4f}"
+        )
+
+
+def plan_victim_sizes(
+    profile: ReuseProfile,
+    sizes: Tuple[int, ...] = VICTIM_SIZES,
+    options: PruneOptions = PruneOptions(),
+    config: Optional[MachineConfig] = None,
+) -> List[PointPlan]:
+    """Rank A1's victim-cache sizes by predicted overflow risk."""
+    config = config or MachineConfig()
+    predictions = {
+        size: predict_cache(
+            profile,
+            CachePoint.from_config(replace(config, victim_entries=size)),
+            speculative=True,
+        )
+        for size in sizes
+    }
+    order = sorted(
+        sizes,
+        key=lambda s: (
+            predictions[s].overflow_risk,
+            predictions[s].victim_pressure,
+            sizes.index(s),
+        ),
+    )
+    budget = max(2, len(sizes) // 2)
+    validation_n = min(options.validation, budget - 1)
+    frontier = list(order[:budget - validation_n])
+    skipped_order = [s for s in order if s not in frontier]
+    validation = _pick_spread(skipped_order, validation_n)
+    plans = []
+    for size in sizes:
+        if size in frontier:
+            role = ROLE_FRONTIER
+        elif size in validation:
+            role = ROLE_VALIDATION
+        else:
+            role = ROLE_SKIPPED
+        plans.append(PointPlan(
+            value=size,
+            cost=predictions[size].overflow_risk,
+            rank=order.index(size),
+            role=role,
+            predicted_miss_ratio=predictions[size].l2_miss_ratio,
+        ))
+    return plans
+
+
+def run_victim_cache_ablation_pruned(
+    ctx: Optional[ExperimentContext] = None,
+    benchmark: str = "delivery_outer",
+    sizes: Tuple[int, ...] = VICTIM_SIZES,
+    options: PruneOptions = PruneOptions(),
+) -> PrunedSweepResult:
+    """A1 with predictor-guided pruning (victim pressure model)."""
+    ctx = ctx or ExperimentContext()
+    config = MachineConfig()
+    profile = profile_for(ctx, benchmark, config)
+    plans = plan_victim_sizes(profile, sizes, options, config)
+    simulated = [p for p in plans if p.role != ROLE_SKIPPED]
+    spec = ctx.spec(benchmark, mode=ExecutionMode.BASELINE)
+    stats_list = ctx.run(
+        SimJob(config=replace(config, victim_entries=plan.value),
+               spec=spec)
+        for plan in simulated
+    )
+    result = PrunedSweepResult(
+        title=f"A1 (pruned) — victim-cache size sweep ({benchmark})",
+        parameter="entries",
+        plans=plans,
+        params={
+            "top_k": options.top_k,
+            "validation": options.validation,
+            "l1_lines": (
+                config.l1_geometry().size_bytes // config.line_size
+            ),
+            "line_size": config.line_size,
+            "n_cpus": config.n_cpus,
+            **_model_params(),
+        },
+        grid_cells=len(plans),
+    )
+    for plan, stats in zip(simulated, stats_list):
+        result.points.append(SweepPoint(
+            value=plan.value,
+            cycles=stats.total_cycles,
+            extra={
+                "spills": stats.victim_spills,
+                "overflow_squashes": stats.overflow_squashes,
+            },
+        ))
+        simulated_ratio = _miss_ratio(stats)
+        result.cells.append(SimulatedCell(
+            benchmark=benchmark,
+            subthreads=0,
+            spacing=plan.value,
+            role=plan.role,
+            predicted_cost=plan.cost,
+            predicted_miss_ratio=plan.predicted_miss_ratio,
+            simulated_miss_ratio=simulated_ratio,
+            miss_ratio_error=abs(
+                plan.predicted_miss_ratio - simulated_ratio
+            ),
+            normalized=0.0,
+            failed_fraction=stats.breakdown_fractions()["failed"],
+            primary_violations=stats.primary_violations,
+        ))
+    result.simulated_cells = len(result.points)
+    return result
+
+
+def merge_predictor_blocks(blocks: List[dict]) -> Optional[dict]:
+    """Combine the predictor blocks of several pruned sweeps into one
+    manifest section (the ``ablations`` experiment carries one block
+    per pruned sweep)."""
+    blocks = [b for b in blocks if b]
+    if not blocks:
+        return None
+    if len(blocks) == 1:
+        return blocks[0]
+    merged = dict(blocks[0])
+    merged["grid_cells"] = sum(b["grid_cells"] for b in blocks)
+    merged["simulated_cells"] = sum(
+        b["simulated_cells"] for b in blocks
+    )
+    merged["dispatch_fraction"] = (
+        merged["simulated_cells"] / merged["grid_cells"]
+    )
+    total = sum(b["errors"]["l2_miss_ratio"]["cells"] for b in blocks)
+    merged["errors"] = {
+        "l2_miss_ratio": {
+            "mae": sum(
+                b["errors"]["l2_miss_ratio"]["mae"]
+                * b["errors"]["l2_miss_ratio"]["cells"]
+                for b in blocks
+            ) / max(1, total),
+            "max_abs": max(
+                b["errors"]["l2_miss_ratio"]["max_abs"] for b in blocks
+            ),
+            "cells": total,
+            "mae_all_simulated": sum(
+                b["errors"]["l2_miss_ratio"]["mae_all_simulated"]
+                * b["simulated_cells"]
+                for b in blocks
+            ) / max(1, merged["simulated_cells"]),
+        },
+    }
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# --dry-run
+# ---------------------------------------------------------------------------
+
+def _job_line(job: SimJob) -> str:
+    """One planned job as a line: benchmark, mode, sub-thread geometry,
+    and every config field that differs from the stock machine (so the
+    knob a sweep varies is always visible)."""
+    import dataclasses
+
+    config = job.config
+    name = job.spec.benchmark if job.spec is not None else "<inline>"
+    mode = config.mode_label or (
+        "tls" if config.speculation_enabled else "serial"
+    )
+    bits = [name, mode]
+    if config.speculation_enabled:
+        bits.append(
+            f"subthreads={config.tls.max_subthreads}"
+            f"@{config.tls.subthread_spacing}"
+        )
+    default = MachineConfig()
+    for fobj in dataclasses.fields(config):
+        if fobj.name in ("tls", "pipeline", "mode_label",
+                         "speculation_enabled", "region_cpus"):
+            continue
+        value = getattr(config, fobj.name)
+        if value != getattr(default, fobj.name):
+            bits.append(f"{fobj.name}={value}")
+    for fobj in dataclasses.fields(config.tls):
+        if fobj.name in ("max_subthreads", "subthread_spacing"):
+            continue
+        value = getattr(config.tls, fobj.name)
+        if value != getattr(default.tls, fobj.name):
+            bits.append(f"tls.{fobj.name}={value}")
+    return "  ".join(bits)
+
+
+def dry_run_text(
+    ctx: ExperimentContext,
+    experiment: str,
+    options: Optional[PruneOptions] = None,
+) -> str:
+    """The planned job list for a sweep experiment, without dispatching.
+
+    With ``options`` (``--prune``) the text also shows each grid's
+    predicted ranking and which cells were skipped.  Building the plan
+    profiles the traces (cheap, no simulation); the plain job list
+    touches no traces at all.
+    """
+    lines: List[str] = []
+
+    def emit_jobs(title: str, jobs: List[SimJob]) -> None:
+        lines.append(f"{title}: {len(jobs)} simulation(s)")
+        for job in jobs:
+            lines.append(f"  {_job_line(job)}")
+
+    if experiment == "figure6":
+        if options is None:
+            emit_jobs("figure6", figure6_jobs(ctx))
+            return "\n".join(lines)
+        total = 0
+        kept = 0
+        for benchmark in FIGURE6_BENCHMARKS:
+            plans = plan_figure6_cells(
+                profile_for(ctx, benchmark), benchmark,
+                options=options,
+            )
+            lines.append(f"figure6 — {benchmark} (predicted ranking):")
+            for plan in sorted(plans, key=lambda p: p.rank):
+                marker = "skip" if plan.role == ROLE_SKIPPED else "run "
+                lines.append(
+                    f"  [{marker}] {plan.subthreads} @ {plan.spacing:<5d}"
+                    f" cost={plan.cost:.4f}  ({plan.role})"
+                )
+            total += len(plans)
+            kept += sum(1 for p in plans if p.role != ROLE_SKIPPED)
+        lines.append(
+            f"would dispatch {kept}/{total} grid cells "
+            f"+ {len(FIGURE6_BENCHMARKS)} sequential baselines"
+        )
+        return "\n".join(lines)
+
+    if experiment == "ablations":
+        from .ablations import ABLATION_JOB_BUILDERS
+
+        for title, builder in ABLATION_JOB_BUILDERS:
+            if title.startswith("A1") and options is not None:
+                plans = plan_victim_sizes(
+                    profile_for(ctx, "delivery_outer"), options=options
+                )
+                lines.append(f"{title} (predicted ranking):")
+                for plan in sorted(plans, key=lambda p: p.rank):
+                    marker = (
+                        "skip" if plan.role == ROLE_SKIPPED else "run "
+                    )
+                    lines.append(
+                        f"  [{marker}] entries={plan.value:<4d}"
+                        f" overflow={plan.cost:.2f}  ({plan.role})"
+                    )
+                continue
+            emit_jobs(title, builder(ctx))
+        return "\n".join(lines)
+
+    raise ValueError(f"--dry-run does not support {experiment!r}")

@@ -79,6 +79,15 @@ class JobRunner:
     #: spec_key of every trace this runner touched — the manifest's
     #: ``trace_spec_keys`` provenance list.
     _spec_keys: Set[str] = field(default_factory=set, repr=False)
+    #: (trace spec key, effective machine config) → stats.  Simulation
+    #: is deterministic, so a job already run by this runner — the
+    #: SEQUENTIAL baseline a benchmark shares across the figure6 and
+    #: ablation grids, say — is a cache hit, not a re-simulation.
+    #: Inline-trace and warmup jobs are never memoized (their inputs
+    #: aren't captured by the key).
+    _results: Dict[Tuple, SimulationStats] = field(
+        default_factory=dict, repr=False
+    )
 
     def trace_for(self, spec: TraceSpec) -> WorkloadTrace:
         key = spec_key(spec)
@@ -144,9 +153,68 @@ class JobRunner:
         self._emit_job_telemetry(job, label, stats)
         return stats
 
+    def _result_key(self, job: SimJob) -> Optional[Tuple]:
+        """Memo key for a job, or None when the job is not memoizable
+        (inline traces and warmup prefixes live outside the key)."""
+        if job.spec is None or job.warmup is not None:
+            return None
+        config = self._effective_config(job.config)
+        return (spec_key(job.spec), dataclasses.astuple(config))
+
     def run(self, sim_jobs: Iterable[SimJob]) -> List[SimulationStats]:
-        """Run jobs, returning stats in job order regardless of ``jobs``."""
+        """Run jobs, returning stats in job order regardless of ``jobs``.
+
+        Duplicate jobs — same trace spec, same effective config — are
+        simulated once, within a job list and across calls (the shared
+        SEQUENTIAL baselines of a multi-sweep run).  Results are
+        byte-identical either way: the simulator is deterministic, so
+        the deduped job's stats equal a re-run's.
+        """
         sim_jobs = list(sim_jobs)
+        for job in sim_jobs:
+            # Provenance covers deduped jobs too: their trace is an
+            # input of the run even when the simulation is a memo hit.
+            if job.spec is not None:
+                self._spec_keys.add(spec_key(job.spec))
+        keys = [self._result_key(job) for job in sim_jobs]
+        slots: List[Optional[SimulationStats]] = [None] * len(sim_jobs)
+        pending: List[SimJob] = []
+        pending_slots: Dict[int, List[int]] = {}
+        first_seen: Dict[Tuple, int] = {}
+        for i, (job, key) in enumerate(zip(sim_jobs, keys)):
+            if key is not None:
+                cached = self._results.get(key)
+                if cached is not None:
+                    slots[i] = cached
+                    continue
+                dup = first_seen.get(key)
+                if dup is not None:
+                    pending_slots[dup].append(i)
+                    continue
+                first_seen[key] = len(pending)
+            pending_slots[len(pending)] = [i]
+            pending.append(job)
+        results = self._dispatch(pending)
+        for pi, stats in enumerate(results):
+            for i in pending_slots[pi]:
+                slots[i] = stats
+            key = keys[pending_slots[pi][0]]
+            if key is not None:
+                self._results[key] = stats
+        if self.tracer is not None:
+            # Deduped jobs still emit their per-job counters (the
+            # report's per-mode sums must not depend on memo hits).
+            from .parallel import describe_job
+
+            ran = {pending_slots[pi][0] for pi in range(len(pending))}
+            for i, job in enumerate(sim_jobs):
+                if i not in ran:
+                    self._emit_job_telemetry(
+                        job, describe_job(job), slots[i]
+                    )
+        return slots
+
+    def _dispatch(self, sim_jobs: List[SimJob]) -> List[SimulationStats]:
         reporter = None
         if self.progress and sim_jobs:
             from ..obs.progress import ProgressReporter

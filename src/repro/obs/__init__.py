@@ -44,8 +44,10 @@ from .report import render_report
 from .schema import (
     REQUIRED_MANIFEST_KEYS,
     RunLogError,
+    assert_valid_predictor_block,
     assert_valid_run_log,
     assert_valid_sampler_block,
+    lint_predictor_block,
     lint_run_log,
     lint_sampler_block,
 )
@@ -60,6 +62,7 @@ __all__ = [
     "REQUIRED_MANIFEST_KEYS",
     "RunLogError",
     "SpanTracer",
+    "assert_valid_predictor_block",
     "assert_valid_run_log",
     "assert_valid_sampler_block",
     "atomic_output_file",
@@ -70,6 +73,7 @@ __all__ = [
     "finish_manifest",
     "format_eta",
     "git_sha",
+    "lint_predictor_block",
     "lint_run_log",
     "lint_sampler_block",
     "main_command",

@@ -267,6 +267,98 @@ def assert_valid_sampler_block(block: Any, max_shown: int = 20) -> None:
         raise RunLogError(text)
 
 
+#: Keys a predictor manifest block's ``params`` must carry (the
+#: ``--prune`` knobs plus the profile geometry and the violation-cost
+#: model coefficients that shaped the ranking).
+REQUIRED_PREDICTOR_PARAM_KEYS = (
+    "top_k", "validation", "l1_lines", "line_size", "n_cpus",
+    "retry_gain", "retry_floor", "far_dep_weight", "violation_penalty",
+)
+
+#: Keys every per-metric predictor error entry must carry.
+REQUIRED_PREDICTOR_ERROR_KEYS = (
+    "mae", "max_abs", "cells", "mae_all_simulated",
+)
+
+
+def lint_predictor_block(block: Any) -> List[str]:
+    """Structurally lint a manifest's ``predictor`` section.
+
+    Pruned sweeps (``--prune``) attach their planning params, dispatch
+    accounting, and predicted-vs-simulated error per metric to the
+    manifest sidecar; CI and the golden tests lint that block the same
+    way sampler blocks are linted — a malformed or non-finite error
+    entry would silently disarm the honesty gate that makes pruning
+    trustworthy.
+    """
+    issues: List[str] = []
+    if not isinstance(block, dict):
+        return [
+            f"predictor block is not an object: {type(block).__name__}"
+        ]
+    params = block.get("params")
+    if not isinstance(params, dict):
+        issues.append("predictor block has no params object")
+    else:
+        for key in REQUIRED_PREDICTOR_PARAM_KEYS:
+            if not _is_number(params.get(key)):
+                issues.append(
+                    f"predictor params[{key!r}] is not a finite "
+                    f"number: {params.get(key)!r}"
+                )
+    for key in ("grid_cells", "simulated_cells"):
+        value = block.get(key)
+        if not isinstance(value, int) or isinstance(value, bool) \
+                or value < 0:
+            issues.append(
+                f"predictor {key} must be a non-negative int, got "
+                f"{value!r}"
+            )
+    fraction = block.get("dispatch_fraction")
+    if not _is_number(fraction) or not (0.0 <= fraction <= 1.0):
+        issues.append(
+            f"dispatch_fraction must be a number in [0, 1], got "
+            f"{fraction!r}"
+        )
+    errors = block.get("errors")
+    if not isinstance(errors, dict) or not errors:
+        issues.append("predictor block has no errors")
+        errors = {}
+    if errors and "l2_miss_ratio" not in errors:
+        issues.append("predictor errors carry no l2_miss_ratio entry")
+    for metric, entry in errors.items():
+        where = f"errors[{metric!r}]"
+        if not isinstance(entry, dict) or not entry:
+            issues.append(f"{where} is not an error dict")
+            continue
+        for key, value in entry.items():
+            if not _is_number(value):
+                issues.append(
+                    f"{where}[{key!r}] is not a finite number: "
+                    f"{value!r}"
+                )
+        if metric == "l2_miss_ratio":
+            for key in REQUIRED_PREDICTOR_ERROR_KEYS:
+                if key not in entry:
+                    issues.append(f"{where} is missing key {key!r}")
+        for key in ("mae", "max_abs", "mae_all_simulated"):
+            if _is_number(entry.get(key)) and entry[key] < 0:
+                issues.append(f"{where}: negative {key}")
+    return issues
+
+
+def assert_valid_predictor_block(block: Any, max_shown: int = 20) -> None:
+    """Lint a predictor manifest block; raise :class:`RunLogError`."""
+    issues = lint_predictor_block(block)
+    if issues:
+        shown = issues[:max_shown]
+        text = f"{len(issues)} predictor-block schema issue(s):\n  " + \
+            "\n  ".join(shown)
+        if len(issues) > len(shown):
+            text += f"\n  ... and {len(issues) - len(shown)} more"
+        raise RunLogError(text)
+
+
 def assert_valid_run_log(path, max_shown: int = 20) -> None:
     """Lint and raise :class:`RunLogError` listing the first issues."""
     issues = lint_run_log(path)

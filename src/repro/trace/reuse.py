@@ -1,0 +1,617 @@
+"""Single-pass reuse-distance profiling and analytical cache prediction.
+
+Figure 6 and the ablation grids re-simulate every (sub-thread count,
+spacing, geometry) cell even though the underlying trace never changes.
+The classic Mattson stack-distance result says one pass over the trace
+is enough to predict the LRU miss ratio of *every* cache capacity at
+once: an access with stack distance *d* (the number of distinct lines
+touched since the previous access to its line) hits in any LRU cache of
+at least *d+1* lines and misses in every smaller one.  This module
+computes that histogram — sharing-aware, per line, per epoch, layered on
+the same store-set machinery as :mod:`repro.trace.analysis` — and maps
+it to per-geometry predictions:
+
+* **L2 miss ratio** for any (sets, ways, line size) point, including
+  the write-through store traffic and the exposed-load notification
+  accesses that speculative execution adds on top of the L1 filter.
+* **Victim-cache pressure**: speculative version demand per L2 set
+  (concurrent epochs writing the same line each need their own version
+  entry) gives the standing spill population and an overflow-squash
+  risk for any victim-cache size.
+* **A violation-likelihood proxy** for any (sub-thread count, spacing)
+  cell: every cross-epoch dependent load is mapped to its rewind
+  checkpoint and charged the work it would lose plus the re-violation
+  pressure of resuming too close behind a still-running producer.
+
+The profile is computed with a per-transaction stack reset, which makes
+every field *exactly additive* over trace concatenation (the Hypothesis
+property tests pin this): profiles of transaction slices can be merged
+and the merged profile equals the profile of the whole.  Reuse that
+crosses transaction boundaries is carried by a separately-additive
+``line → transaction-count`` map and folded back in analytically via a
+residency probability, keeping the predicted miss ratio monotone
+non-increasing in capacity (Mattson inclusion survives the correction).
+
+The harness uses these predictions to *prune* sweeps (``--prune``):
+rank all grid cells analytically, simulate only the predicted frontier
+plus a validation sample, and record predicted-vs-simulated error in
+the manifest so the model's honesty is machine-checked on every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .events import (
+    ParallelRegion,
+    Rec,
+    SerialSegment,
+    WorkloadTrace,
+    record_instruction_count,
+)
+
+#: Default L1 filter used when profiling for the stock machine: the
+#: 32KB/32B-line L1 holds 1024 lines (modeled fully-associative — the
+#: filter only decides which loads *reach* the L2).
+DEFAULT_L1_LINES = 1024
+
+#: Default line size (Table 1) and CPU count for profiling.
+DEFAULT_LINE_SIZE = 32
+DEFAULT_N_CPUS = 4
+
+
+class _LRUStack:
+    """Exact LRU stack distances in O(log n) per access.
+
+    A Fenwick tree over access timestamps holds one set bit at each
+    line's *latest* access time; the stack distance of a new access is
+    the number of set bits strictly between the line's previous access
+    and now (distinct other lines touched in between).  ``None`` means
+    the line is cold in this stack.
+    """
+
+    __slots__ = ("_tree", "_size", "_last", "_time")
+
+    def __init__(self, n_accesses: int):
+        self._size = n_accesses + 1
+        self._tree = [0] * (self._size + 1)
+        self._last: Dict[int, int] = {}
+        self._time = 0
+
+    def _add(self, pos: int, delta: int) -> None:
+        tree = self._tree
+        while pos <= self._size:
+            tree[pos] += delta
+            pos += pos & -pos
+
+    def _prefix(self, pos: int) -> int:
+        tree = self._tree
+        total = 0
+        while pos > 0:
+            total += tree[pos]
+            pos -= pos & -pos
+        return total
+
+    def access(self, line: int) -> Optional[int]:
+        """Record an access; return its stack distance (None if cold)."""
+        self._time += 1
+        t = self._time
+        prev = self._last.get(line)
+        distance = None
+        if prev is not None:
+            # Set bits in (prev, t): each distinct line touched since.
+            distance = self._prefix(t - 1) - self._prefix(prev)
+            self._add(prev, -1)
+        self._last[line] = t
+        self._add(t, 1)
+        return distance
+
+
+def naive_stack_distances(lines: Iterable[int]) -> List[Optional[int]]:
+    """Reference O(n·u) stack distances (move-to-front list).
+
+    The fuzz harness checks the Fenwick implementation against this on
+    random streams; too slow for real traces, exact by construction.
+    """
+    stack: List[int] = []
+    out: List[Optional[int]] = []
+    for line in lines:
+        try:
+            idx = stack.index(line)
+        except ValueError:
+            out.append(None)
+        else:
+            out.append(idx)
+            del stack[idx]
+        stack.insert(0, line)
+    return out
+
+
+@dataclass
+class ReuseProfile:
+    """Additive reuse/dependence summary of a workload trace.
+
+    Every counting field is a sum over transactions profiled with a
+    per-transaction stack reset, so ``merge`` (field-wise addition) of
+    slice profiles equals the profile of the concatenated trace.
+    """
+
+    line_size: int = DEFAULT_LINE_SIZE
+    l1_lines: int = DEFAULT_L1_LINES
+    n_cpus: int = DEFAULT_N_CPUS
+
+    #: Total LOAD / STORE records seen.
+    loads: int = 0
+    stores: int = 0
+    transactions: int = 0
+
+    #: Accesses predicted to reach the L2 (stores always — write
+    #: through; loads only past the per-CPU L1 filter), keyed by
+    #: within-transaction stack distance.
+    load_hist: Dict[int, int] = field(default_factory=dict)
+    store_hist: Dict[int, int] = field(default_factory=dict)
+    #: L2-reaching accesses whose line is cold within their transaction.
+    cold_loads: int = 0
+    cold_stores: int = 0
+    #: Loads the L1 filter absorbed (never reach the L2).
+    l1_filtered_loads: int = 0
+    #: First exposed load of a line per epoch that the L1 would have
+    #: absorbed: speculative execution still sends it to the L2 to set
+    #: the exposed-load bit (a notification access, an L2 *hit*).
+    notification_loads: int = 0
+
+    #: line address → number of transactions touching it (cross-
+    #: transaction reuse, additive by per-key summation).
+    line_txns: Dict[int, int] = field(default_factory=dict)
+
+    #: Epoch structure.
+    epochs: int = 0
+    regions: int = 0
+    epoch_instructions: int = 0
+    serial_instructions: int = 0
+
+    #: (instruction offset in epoch, epoch distance to the latest
+    #: earlier writer) → count, over cross-epoch dependent loads — the
+    #: inputs to the sub-thread violation-cost proxy.
+    dep_sites: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+    #: line address → number of epochs storing it speculatively
+    #: (version demand: concurrent writers need one L2 entry each).
+    spec_store_lines: Dict[int, int] = field(default_factory=dict)
+    #: line address → number of epochs exposed-loading it (exposed-load
+    #: bits also make entries speculative and spillable).
+    spec_load_lines: Dict[int, int] = field(default_factory=dict)
+    #: Σ over epochs of distinct speculatively-touched lines.
+    epoch_spec_footprint: int = 0
+
+    # ----- algebra ---------------------------------------------------
+
+    def merge(self, other: "ReuseProfile") -> "ReuseProfile":
+        """Field-wise sum (profiles must share their parameters)."""
+        if (self.line_size, self.l1_lines, self.n_cpus) != (
+            other.line_size, other.l1_lines, other.n_cpus
+        ):
+            raise ValueError("cannot merge profiles with different params")
+        out = ReuseProfile(
+            line_size=self.line_size,
+            l1_lines=self.l1_lines,
+            n_cpus=self.n_cpus,
+        )
+        for name in (
+            "loads", "stores", "transactions", "cold_loads",
+            "cold_stores", "l1_filtered_loads", "notification_loads",
+            "epochs", "regions", "epoch_instructions",
+            "serial_instructions", "epoch_spec_footprint",
+        ):
+            setattr(out, name,
+                    getattr(self, name) + getattr(other, name))
+        for name in (
+            "load_hist", "store_hist", "line_txns", "dep_sites",
+            "spec_store_lines", "spec_load_lines",
+        ):
+            merged = dict(getattr(self, name))
+            for key, count in getattr(other, name).items():
+                merged[key] = merged.get(key, 0) + count
+            setattr(out, name, merged)
+        return out
+
+    def __add__(self, other: "ReuseProfile") -> "ReuseProfile":
+        return self.merge(other)
+
+    # ----- derived quantities ----------------------------------------
+
+    @property
+    def l2_loads(self) -> int:
+        """Loads predicted to reach the L2 (SEQUENTIAL semantics)."""
+        return self.cold_loads + sum(self.load_hist.values())
+
+    @property
+    def l2_stores(self) -> int:
+        return self.cold_stores + sum(self.store_hist.values())
+
+    @property
+    def distinct_lines(self) -> int:
+        return len(self.line_txns)
+
+    @property
+    def dependent_loads(self) -> int:
+        return sum(self.dep_sites.values())
+
+    def avg_epoch_instructions(self) -> float:
+        if self.epochs == 0:
+            return 0.0
+        return self.epoch_instructions / self.epochs
+
+    def epochs_per_region(self) -> float:
+        if self.regions == 0:
+            return 0.0
+        return self.epochs / self.regions
+
+    def misses_at(self, capacity_lines: int) -> int:
+        """Within-transaction accesses with stack distance >= capacity."""
+        total = 0
+        for hist in (self.load_hist, self.store_hist):
+            for distance, count in hist.items():
+                if distance >= capacity_lines:
+                    total += count
+        return total
+
+    def to_dict(self) -> dict:
+        """Deterministic JSON-safe form (sorted keys; tests/CLI)."""
+        def _sorted(d: Dict) -> dict:
+            return {
+                (":".join(map(str, k)) if isinstance(k, tuple) else str(k)):
+                    v
+                for k, v in sorted(d.items())
+            }
+        return {
+            "line_size": self.line_size,
+            "l1_lines": self.l1_lines,
+            "n_cpus": self.n_cpus,
+            "loads": self.loads,
+            "stores": self.stores,
+            "transactions": self.transactions,
+            "load_hist": _sorted(self.load_hist),
+            "store_hist": _sorted(self.store_hist),
+            "cold_loads": self.cold_loads,
+            "cold_stores": self.cold_stores,
+            "l1_filtered_loads": self.l1_filtered_loads,
+            "notification_loads": self.notification_loads,
+            "line_txns": _sorted(self.line_txns),
+            "epochs": self.epochs,
+            "regions": self.regions,
+            "epoch_instructions": self.epoch_instructions,
+            "serial_instructions": self.serial_instructions,
+            "dep_sites": _sorted(self.dep_sites),
+            "spec_store_lines": _sorted(self.spec_store_lines),
+            "spec_load_lines": _sorted(self.spec_load_lines),
+            "epoch_spec_footprint": self.epoch_spec_footprint,
+        }
+
+
+def profile_workload(
+    workload: WorkloadTrace,
+    line_size: int = DEFAULT_LINE_SIZE,
+    l1_lines: int = DEFAULT_L1_LINES,
+    n_cpus: int = DEFAULT_N_CPUS,
+) -> ReuseProfile:
+    """One pass over a trace → :class:`ReuseProfile`.
+
+    Epochs are walked in logical order (the sequential-equivalent
+    interleaving) with one LRU filter stack per CPU — epoch *k* of a
+    region runs on CPU ``k % n_cpus``, serial segments on CPU 0,
+    mirroring the machine's round-robin schedule — and one global stack
+    for the shared L2.  Stacks reset at transaction boundaries so the
+    resulting histogram is exactly additive over concatenation.
+    """
+    profile = ReuseProfile(
+        line_size=line_size, l1_lines=l1_lines, n_cpus=n_cpus
+    )
+    for txn in workload.transactions:
+        _profile_transaction(profile, txn)
+    return profile
+
+
+def _count_memory_records(txn) -> int:
+    count = 0
+    for segment in txn.segments:
+        if isinstance(segment, ParallelRegion):
+            records = (r for e in segment.epochs for r in e.records)
+        else:
+            records = iter(segment.records)
+        for rec in records:
+            if rec[0] == Rec.LOAD or rec[0] == Rec.STORE:
+                count += 1
+    return count
+
+
+def _profile_transaction(profile: ReuseProfile, txn) -> None:
+    line_size = profile.line_size
+    shift = line_size.bit_length() - 1
+    n_cpus = profile.n_cpus
+    n_mem = _count_memory_records(txn)
+    global_stack = _LRUStack(n_mem)
+    cpu_stacks = [_LRUStack(n_mem) for _ in range(n_cpus)]
+    txn_lines: Set[int] = set()
+    profile.transactions += 1
+
+    def walk(records, cpu: int, speculative: bool,
+             stores_before: Optional[Dict[int, int]] = None,
+             epoch_index: int = 0) -> Tuple[Set[int], Set[int]]:
+        """Profile one record stream; returns (stored, exposed) lines."""
+        cpu_stack = cpu_stacks[cpu]
+        own_stores: Set[int] = set()
+        exposed: Set[int] = set()
+        notified: Set[int] = set()
+        offset = 0
+        for rec in records:
+            kind = rec[0]
+            if kind != Rec.LOAD and kind != Rec.STORE:
+                offset += record_instruction_count(rec)
+                continue
+            offset += 1
+            line = (rec[1] >> shift) << shift
+            txn_lines.add(line)
+            if kind == Rec.STORE:
+                profile.stores += 1
+                distance = global_stack.access(line)
+                cpu_stack.access(line)
+                if distance is None:
+                    profile.cold_stores += 1
+                else:
+                    profile.store_hist[distance] = (
+                        profile.store_hist.get(distance, 0) + 1
+                    )
+                # Every line the record touches joins the store set
+                # (multi-line stores matter for dependence detection).
+                last = (rec[1] + max(rec[2], 1) - 1) >> shift << shift
+                while line <= last:
+                    own_stores.add(line)
+                    line += line_size
+                continue
+            profile.loads += 1
+            is_exposed = speculative and line not in own_stores
+            if speculative and stores_before is not None:
+                writer = stores_before.get(line)
+                if writer is not None:
+                    key = (offset, epoch_index - writer)
+                    profile.dep_sites[key] = (
+                        profile.dep_sites.get(key, 0) + 1
+                    )
+            l1_distance = cpu_stack.access(line)
+            l1_hit = (
+                l1_distance is not None and l1_distance < profile.l1_lines
+            )
+            reaches_l2 = not l1_hit
+            if is_exposed and line not in notified:
+                notified.add(line)
+                exposed.add(line)
+                if l1_hit:
+                    # The L1 has the line but the L2 hasn't seen this
+                    # epoch expose it: a notification access (L2 hit).
+                    profile.notification_loads += 1
+            if reaches_l2:
+                distance = global_stack.access(line)
+                if distance is None:
+                    profile.cold_loads += 1
+                else:
+                    profile.load_hist[distance] = (
+                        profile.load_hist.get(distance, 0) + 1
+                    )
+            else:
+                profile.l1_filtered_loads += 1
+                # The L1 hit keeps the line hot in the shared stack too
+                # (it would stay resident under inclusive LRU).
+                global_stack.access(line)
+        return own_stores, exposed
+
+    for segment in txn.segments:
+        if isinstance(segment, SerialSegment):
+            profile.serial_instructions += segment.instruction_count
+            walk(segment.records, cpu=0, speculative=False)
+            continue
+        profile.regions += 1
+        # line → latest earlier epoch storing it (dependence targets).
+        last_writer: Dict[int, int] = {}
+        for idx, epoch in enumerate(segment.epochs):
+            profile.epochs += 1
+            profile.epoch_instructions += epoch.instruction_count
+            stored, exposed = walk(
+                epoch.records,
+                cpu=idx % n_cpus,
+                speculative=True,
+                stores_before=last_writer,
+                epoch_index=idx,
+            )
+            for line in stored:
+                profile.spec_store_lines[line] = (
+                    profile.spec_store_lines.get(line, 0) + 1
+                )
+            for line in exposed:
+                profile.spec_load_lines[line] = (
+                    profile.spec_load_lines.get(line, 0) + 1
+                )
+            profile.epoch_spec_footprint += len(stored | exposed)
+            for line in stored:
+                last_writer[line] = idx
+
+    for line in txn_lines:
+        profile.line_txns[line] = profile.line_txns.get(line, 0) + 1
+
+
+# ---------------------------------------------------------------------------
+# Analytical predictor
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CachePoint:
+    """One L2 geometry point: (sets, ways, victim entries, line size)."""
+
+    sets: int
+    ways: int
+    victim_entries: int = 64
+    line_size: int = DEFAULT_LINE_SIZE
+
+    @property
+    def capacity_lines(self) -> int:
+        return self.sets * self.ways
+
+    @classmethod
+    def from_config(cls, config) -> "CachePoint":
+        geometry = config.l2_geometry()
+        return cls(
+            sets=geometry.n_sets,
+            ways=geometry.assoc,
+            victim_entries=config.victim_entries,
+            line_size=config.line_size,
+        )
+
+
+@dataclass(frozen=True)
+class CachePrediction:
+    """Predicted L2 behavior at one :class:`CachePoint`."""
+
+    l2_accesses: float
+    l2_misses: float
+    l2_miss_ratio: float
+    #: Standing population of speculative entries that do not fit in
+    #: their L2 set (version demand beyond the ways) — what the victim
+    #: cache must absorb.
+    victim_spill_lines: float
+    #: Spill population per victim entry (≳1 ⇒ the victim cache churns).
+    victim_pressure: float
+    #: Spill population beyond the victim capacity — nonzero predicts
+    #: overflow squashes (the A1 cliff).
+    overflow_risk: float
+
+
+def predict_cache(
+    profile: ReuseProfile,
+    point: CachePoint,
+    speculative: bool = True,
+) -> CachePrediction:
+    """Map the profile to one geometry, Mattson-style.
+
+    ``speculative`` adds the TLS-only traffic (exposed-load
+    notifications) on top of the SEQUENTIAL access stream; the miss
+    *count* model is shared.  Cross-transaction first touches are split
+    analytically: a line touched by *k* transactions misses once for
+    certain and hits its other *k-1* first touches with the residency
+    probability ``min(1, capacity / distinct_lines)`` — monotone in
+    capacity, so Mattson inclusion survives the correction.
+    """
+    capacity = max(1, point.capacity_lines)
+    finite_misses = profile.misses_at(capacity)
+    distinct = profile.distinct_lines
+    resident = 1.0 if distinct == 0 else min(1.0, capacity / distinct)
+    repeat_touches = sum(profile.line_txns.values()) - distinct
+    cold_misses = distinct + repeat_touches * (1.0 - resident)
+    accesses = float(profile.l2_loads + profile.l2_stores)
+    if speculative:
+        accesses += profile.notification_loads
+    misses = min(float(finite_misses) + cold_misses, accesses)
+    ratio = 0.0 if accesses == 0 else misses / accesses
+
+    spill = _victim_spill_lines(profile, point) if speculative else 0.0
+    return CachePrediction(
+        l2_accesses=accesses,
+        l2_misses=misses,
+        l2_miss_ratio=ratio,
+        victim_spill_lines=spill,
+        victim_pressure=spill / (point.victim_entries + 1.0),
+        overflow_risk=max(0.0, spill - point.victim_entries),
+    )
+
+
+def _victim_spill_lines(profile: ReuseProfile, point: CachePoint) -> float:
+    """Standing speculative entries per L2 set beyond the ways.
+
+    A line stored by a fraction *f* of the epochs has ``f * concurrency``
+    expected concurrent writers, each holding a private version in the
+    line's set; the committed copy adds one more entry.  Exposed-load
+    bits make committed entries speculative (spillable) but need no
+    extra version.  Demand beyond the set's ways must live in the
+    victim cache — when the total exceeds its entries, the machine
+    squashes on overflow.
+    """
+    if profile.epochs == 0:
+        return 0.0
+    concurrency = min(
+        float(profile.n_cpus), max(1.0, profile.epochs_per_region())
+    )
+    shift = point.line_size.bit_length() - 1
+    set_mask = point.sets - 1
+    demand: Dict[int, float] = {}
+    epochs = float(profile.epochs)
+    for line, writers in profile.spec_store_lines.items():
+        set_index = (line >> shift) & set_mask
+        versions = 1.0 + (writers / epochs) * concurrency
+        demand[set_index] = demand.get(set_index, 0.0) + versions
+    for line, readers in profile.spec_load_lines.items():
+        if line in profile.spec_store_lines:
+            continue
+        set_index = (line >> shift) & set_mask
+        demand[set_index] = demand.get(set_index, 0.0) + min(
+            1.0, (readers / epochs) * concurrency
+        )
+    ways = float(point.ways)
+    return sum(d - ways for d in demand.values() if d > ways)
+
+
+#: Sub-thread violation-cost model coefficients (fit once against the
+#: pinned figure6 grids at tiny and default scale; see
+#: docs/performance.md).  ``retry_gain`` prices resuming too close
+#: behind a still-running producer (each retry re-exposes the load and
+#: violates again until the producer commits); ``far_dep_weight``
+#: discounts dependences whose producer is more than a CPU-round ahead
+#: (usually committed before the consumer's load re-executes).
+RETRY_GAIN = 4.0
+RETRY_FLOOR = 5.0
+FAR_DEP_WEIGHT = 0.1
+VIOLATION_PENALTY = 20.0
+
+
+def subthread_violation_cost(
+    profile: ReuseProfile,
+    max_subthreads: int,
+    spacing: int,
+    retry_gain: float = RETRY_GAIN,
+    retry_floor: float = RETRY_FLOOR,
+    far_dep_weight: float = FAR_DEP_WEIGHT,
+    violation_penalty: float = VIOLATION_PENALTY,
+) -> float:
+    """Violation-likelihood proxy for one (count, spacing) cell.
+
+    For every cross-epoch dependent load at instruction offset *p* with
+    producer distance *d*, the nearest sub-thread checkpoint at or
+    before *p* is ``spacing * min(p // spacing, count - 1)``; a
+    violation rewinds there, losing ``p - checkpoint`` instructions
+    plus the squash penalty.  Dependences on a concurrently-running
+    producer (``d < n_cpus``) also pay a retry term: resuming close
+    behind the violation point re-exposes the load while the producer
+    is still uncommitted, so the expected violation count scales with
+    the producer's remaining work over the resume gap.  Distant
+    producers (``d >= n_cpus``) have usually committed; they keep only
+    a small weight.  Returned per speculative instruction, so cells of
+    one benchmark are comparable.
+    """
+    if not profile.dep_sites or profile.epoch_instructions == 0:
+        return 0.0
+    n_cpus = profile.n_cpus
+    avg_epoch = profile.avg_epoch_instructions()
+    total = 0.0
+    last_checkpoint = max(0, max_subthreads - 1)
+    for (offset, distance), count in profile.dep_sites.items():
+        checkpoint = spacing * min(offset // spacing, last_checkpoint)
+        waste = (offset - checkpoint) + violation_penalty
+        if distance < n_cpus:
+            concurrency_weight = (n_cpus - distance) / n_cpus
+            retries = retry_gain * concurrency_weight * avg_epoch / (
+                (offset - checkpoint) + retry_floor
+            )
+            total += count * waste * (1.0 + retries)
+        else:
+            total += count * far_dep_weight * waste
+    return total / profile.epoch_instructions
+

@@ -1,0 +1,272 @@
+"""Unit tests for the reuse-distance profile and analytical predictor.
+
+Hand-built traces with known stack distances, dependences, and version
+demand pin the exact arithmetic of :mod:`repro.trace.reuse`; the
+Hypothesis suite (test_reuse_property.py) covers the algebraic
+properties over random traces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace.events import (
+    EpochTrace,
+    ParallelRegion,
+    Rec,
+    SerialSegment,
+    TransactionTrace,
+    WorkloadTrace,
+)
+from repro.trace.reuse import (
+    FAR_DEP_WEIGHT,
+    RETRY_FLOOR,
+    RETRY_GAIN,
+    VIOLATION_PENALTY,
+    CachePoint,
+    ReuseProfile,
+    _LRUStack,
+    naive_stack_distances,
+    predict_cache,
+    profile_workload,
+    subthread_violation_cost,
+)
+
+LINE = 32
+BASE = 0x1000
+
+
+def _line(i: int) -> int:
+    return BASE + i * LINE
+
+
+def _load(i: int, pc: int = 0x400) -> tuple:
+    return (Rec.LOAD, _line(i), 4, pc)
+
+
+def _store(i: int, pc: int = 0x500) -> tuple:
+    return (Rec.STORE, _line(i), 4, pc)
+
+
+def _workload(*txns: TransactionTrace) -> WorkloadTrace:
+    workload = WorkloadTrace(name="unit")
+    workload.transactions.extend(txns)
+    return workload
+
+
+def _txn(*segments) -> TransactionTrace:
+    txn = TransactionTrace(name="T")
+    txn.segments.extend(segments)
+    return txn
+
+
+# ---------------------------------------------------------------------------
+# Stack distances
+# ---------------------------------------------------------------------------
+
+def test_naive_stack_distances_known_sequence():
+    # 1 2 1 2 3 1: the classic example — cold, cold, d=1, d=1, cold, d=2.
+    assert naive_stack_distances([1, 2, 1, 2, 3, 1]) == [
+        None, None, 1, 1, None, 2,
+    ]
+
+
+def test_naive_repeated_access_has_distance_zero():
+    assert naive_stack_distances([7, 7, 7]) == [None, 0, 0]
+
+
+def test_fenwick_matches_naive_on_fixed_stream():
+    stream = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3, 2, 3, 8]
+    stack = _LRUStack(len(stream))
+    assert [stack.access(x) for x in stream] == naive_stack_distances(
+        stream
+    )
+
+
+# ---------------------------------------------------------------------------
+# Profiling
+# ---------------------------------------------------------------------------
+
+def test_profile_counts_and_structure():
+    txn = _txn(
+        SerialSegment(records=[_load(0), _store(1)]),
+        ParallelRegion(epochs=[
+            EpochTrace(epoch_id=0, records=[_store(2), _load(3)]),
+            EpochTrace(epoch_id=1, records=[_load(2)]),
+        ]),
+    )
+    profile = profile_workload(_workload(txn), line_size=LINE)
+    assert profile.transactions == 1
+    assert profile.regions == 1
+    assert profile.epochs == 2
+    assert profile.loads == 3
+    assert profile.stores == 2
+    # Epoch 1's load of line 2 depends on epoch 0's store: offset 1,
+    # producer distance 1.
+    assert profile.dep_sites == {(1, 1): 1}
+    assert profile.distinct_lines == 4
+
+
+def test_l1_filter_absorbs_repeats():
+    # Three loads of the same line on one CPU: the first reaches the
+    # L2 (cold), the repeats hit the (fully-associative) L1 filter.
+    txn = _txn(SerialSegment(records=[_load(0), _load(0), _load(0)]))
+    profile = profile_workload(_workload(txn), line_size=LINE)
+    assert profile.loads == 3
+    assert profile.cold_loads == 1
+    assert profile.l1_filtered_loads == 2
+    assert profile.l2_loads == 1
+
+
+def test_tiny_l1_lets_repeats_through():
+    # With a 1-line L1, alternating lines always miss the filter.
+    txn = _txn(SerialSegment(
+        records=[_load(0), _load(1), _load(0), _load(1)]
+    ))
+    profile = profile_workload(_workload(txn), line_size=LINE, l1_lines=1)
+    assert profile.l1_filtered_loads == 0
+    assert profile.l2_loads == 4
+
+
+def test_notification_load_counted():
+    # The serial prologue warms line 0 in CPU 0's L1; epoch 0 (also
+    # CPU 0) then exposed-loads it.  The L1 would absorb the access,
+    # but speculation must still notify the L2 to set the exposed bit.
+    txn = _txn(
+        SerialSegment(records=[_load(0)]),
+        ParallelRegion(epochs=[
+            EpochTrace(epoch_id=0, records=[_load(0)]),
+        ]),
+    )
+    profile = profile_workload(_workload(txn), line_size=LINE)
+    assert profile.notification_loads == 1
+    speculative = predict_cache(
+        profile, CachePoint(sets=64, ways=8), speculative=True
+    )
+    sequential = predict_cache(
+        profile, CachePoint(sets=64, ways=8), speculative=False
+    )
+    assert speculative.l2_accesses == sequential.l2_accesses + 1
+
+
+def test_profile_additive_over_transactions():
+    a = _txn(SerialSegment(records=[_load(0), _store(1), _load(0)]))
+    b = _txn(ParallelRegion(epochs=[
+        EpochTrace(epoch_id=0, records=[_store(1), _load(2)]),
+        EpochTrace(epoch_id=1, records=[_load(1)]),
+    ]))
+    whole = profile_workload(_workload(a, b), line_size=LINE)
+    merged = (
+        profile_workload(_workload(a), line_size=LINE)
+        + profile_workload(_workload(b), line_size=LINE)
+    )
+    assert merged.to_dict() == whole.to_dict()
+
+
+def test_merge_rejects_mismatched_params():
+    with pytest.raises(ValueError):
+        ReuseProfile(line_size=32) + ReuseProfile(line_size=64)
+
+
+# ---------------------------------------------------------------------------
+# Cache prediction
+# ---------------------------------------------------------------------------
+
+def _spread_workload() -> WorkloadTrace:
+    """Lines 0..7 each loaded twice with full-stack reuse distances."""
+    lines = list(range(8))
+    records = [_load(i) for i in lines] + [_load(i) for i in lines]
+    return _workload(_txn(SerialSegment(records=records)))
+
+
+def test_predict_cache_monotone_in_capacity():
+    profile = profile_workload(
+        _spread_workload(), line_size=LINE, l1_lines=2
+    )
+    prev = None
+    for ways in (1, 2, 4, 8, 16, 64):
+        pred = predict_cache(profile, CachePoint(sets=1, ways=ways))
+        assert 0.0 <= pred.l2_miss_ratio <= 1.0
+        assert pred.l2_misses <= pred.l2_accesses
+        if prev is not None:
+            assert pred.l2_misses <= prev.l2_misses + 1e-9
+            assert pred.l2_miss_ratio <= prev.l2_miss_ratio + 1e-9
+        prev = pred
+
+
+def test_predict_cache_huge_capacity_keeps_cold_misses():
+    profile = profile_workload(
+        _spread_workload(), line_size=LINE, l1_lines=2
+    )
+    pred = predict_cache(profile, CachePoint(sets=4096, ways=16))
+    # Every line still misses once (compulsory); nothing else does.
+    assert pred.l2_misses == pytest.approx(profile.distinct_lines)
+
+
+def test_victim_pressure_decreases_with_entries():
+    # Four epochs all store the same two lines: version demand piles
+    # into their sets and must spill past a 1-way L2.
+    epochs = [
+        EpochTrace(epoch_id=e, records=[_store(0), _store(1)])
+        for e in range(4)
+    ]
+    profile = profile_workload(
+        _workload(_txn(ParallelRegion(epochs=epochs))), line_size=LINE
+    )
+    tight = predict_cache(
+        profile, CachePoint(sets=1, ways=1, victim_entries=0)
+    )
+    roomy = predict_cache(
+        profile, CachePoint(sets=1, ways=1, victim_entries=64)
+    )
+    assert tight.victim_spill_lines == roomy.victim_spill_lines > 0.0
+    assert tight.overflow_risk > roomy.overflow_risk
+    assert tight.victim_pressure > roomy.victim_pressure
+    assert roomy.overflow_risk == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Violation-cost proxy
+# ---------------------------------------------------------------------------
+
+def _dep_profile(dep_sites: dict) -> ReuseProfile:
+    profile = ReuseProfile()
+    profile.dep_sites = dict(dep_sites)
+    profile.epochs = 2
+    profile.regions = 1
+    profile.epoch_instructions = 100
+    return profile
+
+
+def test_violation_cost_near_dependence_formula():
+    profile = _dep_profile({(25, 1): 2})
+    # checkpoint = 10 * min(25 // 10, 4 - 1) = 20; waste = 5 + penalty.
+    gap = 5.0
+    waste = gap + VIOLATION_PENALTY
+    retries = RETRY_GAIN * (3 / 4) * 50.0 / (gap + RETRY_FLOOR)
+    expected = 2 * waste * (1.0 + retries) / 100.0
+    assert subthread_violation_cost(profile, 4, 10) == pytest.approx(
+        expected
+    )
+
+
+def test_violation_cost_far_dependence_discounted():
+    profile = _dep_profile({(25, 4): 1})  # producer >= n_cpus ahead
+    expected = FAR_DEP_WEIGHT * (5.0 + VIOLATION_PENALTY) / 100.0
+    assert subthread_violation_cost(profile, 4, 10) == pytest.approx(
+        expected
+    )
+
+
+def test_violation_cost_zero_without_dependences():
+    assert subthread_violation_cost(ReuseProfile(), 4, 10) == 0.0
+
+
+def test_more_checkpoints_cut_the_wasted_work():
+    # One far dependence deep in the epoch: with one sub-thread context
+    # the rewind loses the whole prefix, with many it loses almost
+    # nothing (far deps pay no retry term, so the effect is monotone).
+    profile = _dep_profile({(95, 4): 1})
+    coarse = subthread_violation_cost(profile, 1, 10)
+    fine = subthread_violation_cost(profile, 32, 10)
+    assert fine < coarse

@@ -1,0 +1,174 @@
+"""Property-based invariants of the reuse-distance model (hypothesis).
+
+The pruner trusts three algebraic facts about
+:mod:`repro.trace.reuse`; random traces pin them for *every* workload
+shape, not just the TPC-C traces the harness happens to profile:
+
+* the Fenwick-tree LRU stack computes exactly the distances of the
+  naive move-to-front reference;
+* the predicted miss count is **monotone non-increasing in capacity**
+  (Mattson inclusion, surviving the cross-transaction residency
+  correction) and every prediction is a sane probability;
+* profiles are **exactly additive** over transaction concatenation
+  (the per-transaction stack reset), and profiling is deterministic —
+  including across interpreter hash seeds, which a subprocess test
+  pins because dict/set iteration is the classic way to lose it.
+
+Generators draw small line universes so shrinking heads toward tiny
+traces with heavy reuse (the interesting regime for stack distances).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from hypothesis import given, strategies as st
+
+from repro.trace.events import (
+    EpochTrace,
+    ParallelRegion,
+    Rec,
+    SerialSegment,
+    TransactionTrace,
+    WorkloadTrace,
+)
+from repro.trace.reuse import (
+    CachePoint,
+    _LRUStack,
+    naive_stack_distances,
+    predict_cache,
+    profile_workload,
+    subthread_violation_cost,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: A small line universe forces reuse; lines as small ints shrink well.
+line_streams = st.lists(
+    st.integers(min_value=0, max_value=12), min_size=0, max_size=120
+)
+
+_LINE = 32
+_BASE = 0x2000
+
+#: LOAD/STORE records over a 16-line universe (sizes cross line
+#: boundaries occasionally — multi-line stores matter for store sets).
+records = st.lists(
+    st.tuples(
+        st.sampled_from([Rec.LOAD, Rec.STORE]),
+        st.integers(min_value=0, max_value=15).map(
+            lambda i: _BASE + i * _LINE
+        ),
+        st.sampled_from([1, 4, 8, 40]),
+        st.just(0x400),
+    ),
+    min_size=0,
+    max_size=25,
+)
+
+
+@st.composite
+def workloads(draw):
+    workload = WorkloadTrace(name="prop")
+    for t in range(draw(st.integers(min_value=1, max_value=3))):
+        txn = TransactionTrace(name=f"P{t}")
+        if draw(st.booleans()):
+            txn.segments.append(SerialSegment(records=draw(records)))
+        for _ in range(draw(st.integers(min_value=1, max_value=2))):
+            txn.segments.append(ParallelRegion(epochs=[
+                EpochTrace(epoch_id=e, records=draw(records))
+                for e in range(draw(st.integers(min_value=2, max_value=4)))
+            ]))
+        workload.transactions.append(txn)
+    return workload
+
+
+@given(line_streams)
+def test_fenwick_stack_matches_naive_reference(stream):
+    stack = _LRUStack(len(stream))
+    assert [stack.access(x) for x in stream] == naive_stack_distances(
+        stream
+    )
+
+
+@given(workloads(), st.sampled_from([1, 4, 1024]))
+def test_mattson_monotone_and_bounded(workload, l1_lines):
+    profile = profile_workload(
+        workload, line_size=_LINE, l1_lines=l1_lines
+    )
+    prev = None
+    for capacity in (1, 2, 4, 8, 16, 64, 256, 4096):
+        assert profile.misses_at(capacity) >= profile.misses_at(
+            capacity + 1
+        )
+        pred = predict_cache(profile, CachePoint(sets=1, ways=capacity))
+        assert 0.0 <= pred.l2_miss_ratio <= 1.0
+        assert 0.0 <= pred.l2_misses <= pred.l2_accesses
+        assert pred.victim_spill_lines >= 0.0
+        assert pred.overflow_risk >= 0.0
+        if prev is not None:
+            assert pred.l2_misses <= prev.l2_misses + 1e-9
+            assert pred.l2_miss_ratio <= prev.l2_miss_ratio + 1e-9
+        prev = pred
+
+
+@given(workloads())
+def test_profile_additive_over_concatenation(workload):
+    whole = profile_workload(workload, line_size=_LINE)
+    merged = None
+    for txn in workload.transactions:
+        piece = WorkloadTrace(name="slice")
+        piece.transactions.append(txn)
+        part = profile_workload(piece, line_size=_LINE)
+        merged = part if merged is None else merged + part
+    assert merged.to_dict() == whole.to_dict()
+
+
+@given(workloads())
+def test_accesses_partition_into_l2_and_filtered(workload):
+    profile = profile_workload(workload, line_size=_LINE)
+    assert profile.loads == profile.l2_loads + profile.l1_filtered_loads
+    assert profile.stores == profile.l2_stores
+    assert profile.notification_loads <= profile.l1_filtered_loads
+
+
+@given(
+    workloads(),
+    st.sampled_from([1, 2, 8, 32]),
+    st.sampled_from([1, 10, 125, 500]),
+)
+def test_violation_cost_finite_nonnegative(workload, count, spacing):
+    profile = profile_workload(workload, line_size=_LINE)
+    cost = subthread_violation_cost(profile, count, spacing)
+    assert cost >= 0.0
+    assert cost == cost  # not NaN
+
+
+_DETERMINISM_SCRIPT = """
+import json, random
+from repro.trace.reuse import profile_workload
+from repro.verify.fuzz import random_workload
+workload = random_workload(random.Random("hash-seed-check"),
+                           n_transactions=3)
+print(json.dumps(profile_workload(workload).to_dict(), sort_keys=True))
+"""
+
+
+def test_profile_deterministic_across_hash_seeds():
+    """to_dict() must not depend on PYTHONHASHSEED (set iteration)."""
+    outputs = []
+    for seed in ("0", "1"):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src")
+        env["PYTHONHASHSEED"] = seed
+        proc = subprocess.run(
+            [sys.executable, "-c", _DETERMINISM_SCRIPT],
+            check=True, env=env, cwd=REPO, capture_output=True,
+            text=True,
+        )
+        outputs.append(json.loads(proc.stdout))
+    assert outputs[0] == outputs[1]
