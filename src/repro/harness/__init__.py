@@ -28,6 +28,8 @@ from .runner import (
     ExperimentContext,
     JobRunner,
     SimJob,
+    config_identity,
+    config_identity_doc,
     mode_trace,
     run_config,
     run_mode,
@@ -65,6 +67,8 @@ __all__ = [
     "JobRunner",
     "SimJob",
     "TraceSpec",
+    "config_identity",
+    "config_identity_doc",
     "default_cache_dir",
     "materialize",
     "spec_key",

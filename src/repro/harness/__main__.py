@@ -225,6 +225,20 @@ def main(argv=None) -> int:
         help="regenerate traces in memory; do not touch the disk cache",
     )
     parser.add_argument(
+        "--result-store",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "persistent content-addressed result store "
+            "(repro.service.store): simulation results are looked up "
+            "by (trace key, machine config) before dispatch and "
+            "committed after, so identical jobs across invocations are "
+            "store hits instead of re-simulations; the sweep service "
+            "daemon uses the same store format"
+        ),
+    )
+    parser.add_argument(
         "--check-invariants",
         action="store_true",
         help=(
@@ -346,11 +360,17 @@ def main(argv=None) -> int:
         overrides["compile_traces"] = False
     if args.no_columnar:
         overrides["columnar"] = False
+    result_store = None
+    if args.result_store is not None:
+        from ..service.store import ResultStore
+
+        result_store = ResultStore(args.result_store)
     runner = JobRunner(
         jobs=args.jobs if args.jobs > 0 else (os.cpu_count() or 1),
         trace_cache=cache_dir,
         config_overrides=overrides or None,
         progress=args.progress,
+        result_store=result_store,
     )
     ctx = ExperimentContext(
         n_transactions=n_transactions, seed=args.seed, scale=scale,
@@ -473,6 +493,8 @@ def main(argv=None) -> int:
         "columnar": not args.no_columnar,
         "check_invariants": args.check_invariants,
     }
+    if result_store is not None:
+        config["result_store"] = str(args.result_store)
     if args.sample_rate is not None:
         config["sampler"] = {
             "rate": args.sample_rate,
@@ -552,11 +574,22 @@ def main(argv=None) -> int:
                         manifest=done,
                     )
             print(f"[{name} took {elapsed:.1f}s]", flush=True)
+        if result_store is not None:
+            print(
+                f"[result store: {runner.store_hits} hits, "
+                f"{runner.dispatched} simulated]",
+                flush=True,
+            )
     finally:
         if tracer is not None:
             from .tracecache import STATS as trace_cache_stats
 
             tracer.counter("tracecache", dict(trace_cache_stats))
+            if result_store is not None:
+                tracer.counter("resultstore", {
+                    "hits": runner.store_hits,
+                    "dispatched": runner.dispatched,
+                })
             tracer.event(
                 "run.finish",
                 wall_seconds=round(time.perf_counter() - run_t0, 3),

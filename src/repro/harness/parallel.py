@@ -15,7 +15,13 @@ Failure handling is first-class:
 * the first failure cancels every not-yet-started job instead of
   grinding through the rest of the sweep;
 * ``KeyboardInterrupt`` shuts the pool down without waiting for queued
-  work.
+  *or in-flight* work — the interrupt path skips the usual blocking
+  ``shutdown(wait=True)``, so ^C returns promptly even mid-simulation.
+
+Workers return ``(result, tracecache delta)`` pairs: each process
+counts its own :data:`repro.harness.tracecache.STATS` movement per job
+and the parent folds the deltas back in, so traced parallel runs report
+the same disk-hit/generation totals a serial run would.
 
 With a :class:`~repro.obs.progress.ProgressReporter` (harness
 ``--progress``), workers stamp per-process heartbeats into a shared
@@ -52,6 +58,7 @@ from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from ..sim import Machine, SimulationStats
 from ..trace import WorkloadTrace
+from .tracecache import STATS as TRACECACHE_STATS
 from .tracecache import TraceSpec, materialize, spec_key
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -115,10 +122,39 @@ def _worker_trace(spec: TraceSpec) -> WorkloadTrace:
     return trace
 
 
-def _warm_spec(spec: TraceSpec) -> None:
-    """Materialize one spec into the shared disk cache."""
+def _stats_delta(before: Dict[str, int]) -> Dict[str, int]:
+    """This worker's tracecache counter movement since ``before``.
+
+    Worker processes mutate their *own* copy of
+    :data:`repro.harness.tracecache.STATS`, which dies with the process
+    — so every worker return value carries the per-call delta and the
+    parent folds it back into its counters (otherwise traced ``--jobs N``
+    runs under-report disk hits and generations).
+    """
+    return {
+        key: TRACECACHE_STATS[key] - before.get(key, 0)
+        for key in TRACECACHE_STATS
+    }
+
+
+def merge_tracecache_stats(delta: Optional[Dict[str, int]]) -> None:
+    """Fold a worker's tracecache counter delta into this process."""
+    if not delta:
+        return
+    for key, value in delta.items():
+        if value:
+            TRACECACHE_STATS[key] = TRACECACHE_STATS.get(key, 0) + value
+
+
+def _warm_spec(spec: TraceSpec):
+    """Materialize one spec into the shared disk cache.
+
+    Returns ``(None, tracecache delta)`` — warm-phase generations count
+    toward the parent's disk-cache telemetry too.
+    """
     label = f"trace {spec_key(spec)[:8]}"
     _beat(label)
+    before = dict(TRACECACHE_STATS)
     try:
         _worker_trace(spec)
     except Exception:
@@ -126,11 +162,14 @@ def _warm_spec(spec: TraceSpec) -> None:
             f"trace generation failed for {label}:\n"
             + traceback.format_exc()
         ) from None
+    return None, _stats_delta(before)
 
 
-def _run_job(job: "SimJob", config_overrides=None) -> SimulationStats:
+def _run_job(job: "SimJob", config_overrides=None):
+    """Simulate one job; returns ``(SimulationStats, tracecache delta)``."""
     label = describe_job(job)
     _beat(label)
+    before = dict(TRACECACHE_STATS)
     try:
         trace = (
             job.trace if job.trace is not None else _worker_trace(job.spec)
@@ -143,7 +182,7 @@ def _run_job(job: "SimJob", config_overrides=None) -> SimulationStats:
         machine = Machine(config)
         if job.warmup is not None:
             machine.functional_warm(job.warmup)
-        return machine.run(trace)
+        return machine.run(trace), _stats_delta(before)
     except Exception:
         raise JobFailure(
             f"job {label} failed in worker {os.getpid()}:\n"
@@ -195,6 +234,7 @@ def run_jobs_parallel(
         initializer=_init_worker,
         initargs=(trace_cache, heartbeats),
     )
+    interrupted = False
     try:
         if trace_cache is not None:
             # Pre-warm the disk cache so each unique trace is generated
@@ -207,17 +247,29 @@ def run_jobs_parallel(
                 pool.submit(_warm_spec, spec) for spec in unique.values()
             ]
             _drain(warm, progress=None, heartbeats=None)
+            for future in warm:
+                merge_tracecache_stats(future.result()[1])
         futures = [
             pool.submit(_run_job, job, config_overrides) for job in jobs
         ]
         _drain(futures, progress, heartbeats)
-        return [future.result() for future in futures]
+        results = []
+        for future in futures:
+            stats, delta = future.result()
+            merge_tracecache_stats(delta)
+            results.append(stats)
+        return results
     except KeyboardInterrupt:
         # Don't wait for queued jobs on ^C — drop them and let the
-        # already-running workers be reaped.
+        # already-running workers be reaped.  The flag keeps the
+        # ``finally`` below from immediately re-waiting on the in-flight
+        # jobs (``shutdown(wait=True)`` would block until the running
+        # simulations finish, turning ^C on a long sweep into a hang).
+        interrupted = True
         pool.shutdown(wait=False, cancel_futures=True)
         raise
     finally:
-        pool.shutdown(wait=True)
+        if not interrupted:
+            pool.shutdown(wait=True)
         if manager is not None:
             manager.shutdown()

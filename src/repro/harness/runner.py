@@ -22,6 +22,46 @@ from ..trace import WorkloadTrace
 from .tracecache import TraceSpec, materialize, spec_key
 
 
+def config_identity(config) -> Tuple:
+    """Hashable identity of a config: compare-eligible fields only.
+
+    ``dataclasses.astuple`` would also capture ``compare=False``
+    provenance fields such as ``MachineConfig.mode_label``, so two
+    configs that compare equal (``==``) could still produce different
+    memo keys and miss legitimate dedup hits.  This walks nested
+    dataclasses recursively, keeping exactly the fields that participate
+    in equality — same ``==`` means same identity, by construction.
+    """
+    values = []
+    for f in dataclasses.fields(config):
+        if not f.compare:
+            continue
+        value = getattr(config, f.name)
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            value = config_identity(value)
+        values.append(value)
+    return tuple(values)
+
+
+def config_identity_doc(config) -> Dict[str, object]:
+    """JSON-able form of :func:`config_identity`, field names included.
+
+    The persistent result store (:mod:`repro.service.store`) hashes this
+    document into its content address, so the on-disk key is stable
+    across processes and runs and — like the in-memory memo — blind to
+    provenance-only fields.
+    """
+    doc: Dict[str, object] = {}
+    for f in dataclasses.fields(config):
+        if not f.compare:
+            continue
+        value = getattr(config, f.name)
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            value = config_identity_doc(value)
+        doc[f.name] = value
+    return doc
+
+
 @dataclass
 class SimJob:
     """One simulation: a trace under one machine configuration.
@@ -73,6 +113,27 @@ class JobRunner:
                                      compare=False)
     #: Render live progress/heartbeats to stderr (harness ``--progress``).
     progress: bool = False
+    #: Optional :class:`repro.service.store.ResultStore` — the in-memory
+    #: result memo lifted to disk.  Misses fall through to simulation
+    #: and commit back to the store, so an identical sweep re-run (even
+    #: in a different process, after a crash) is a store hit instead of
+    #: a re-simulation.  None (the default) keeps results in memory only.
+    result_store: Optional[object] = field(default=None, repr=False,
+                                           compare=False)
+    #: Optional service-dispatch hook: a callable
+    #: ``(jobs, config_overrides) -> List[SimulationStats]`` that
+    #: replaces the built-in serial/process-pool dispatch.  The sweep
+    #: service routes pending jobs through its retrying scheduler this
+    #: way; everything above (memo, store, telemetry, ordering) is
+    #: unchanged.
+    dispatcher: Optional[object] = field(default=None, repr=False,
+                                         compare=False)
+    #: Jobs actually sent to a simulator by this runner (memo and store
+    #: hits excluded) — the number a re-submitted sweep should drive to
+    #: zero.
+    dispatched: int = field(default=0, compare=False)
+    #: Jobs answered from the persistent result store.
+    store_hits: int = field(default=0, compare=False)
     _memo: Dict[str, WorkloadTrace] = field(
         default_factory=dict, repr=False
     )
@@ -155,11 +216,33 @@ class JobRunner:
 
     def _result_key(self, job: SimJob) -> Optional[Tuple]:
         """Memo key for a job, or None when the job is not memoizable
-        (inline traces and warmup prefixes live outside the key)."""
+        (inline traces and warmup prefixes live outside the key).
+
+        The config half of the key comes from :func:`config_identity`,
+        not ``dataclasses.astuple``: the latter includes
+        ``compare=False`` provenance such as ``mode_label``, which would
+        make two ``==`` configs miss each other in the memo (and in the
+        persistent result store keyed the same way).
+        """
         if job.spec is None or job.warmup is not None:
             return None
         config = self._effective_config(job.config)
-        return (spec_key(job.spec), dataclasses.astuple(config))
+        return (spec_key(job.spec), config_identity(config))
+
+    def _store_lookup(self, job: SimJob) -> Optional[SimulationStats]:
+        """Consult the persistent result store for a memoizable job."""
+        if self.result_store is None:
+            return None
+        return self.result_store.get_stats(
+            spec_key(job.spec), self._effective_config(job.config)
+        )
+
+    def _store_commit(self, job: SimJob, stats: SimulationStats) -> None:
+        if self.result_store is None:
+            return
+        self.result_store.put_stats(
+            spec_key(job.spec), self._effective_config(job.config), stats
+        )
 
     def run(self, sim_jobs: Iterable[SimJob]) -> List[SimulationStats]:
         """Run jobs, returning stats in job order regardless of ``jobs``.
@@ -184,6 +267,14 @@ class JobRunner:
         for i, (job, key) in enumerate(zip(sim_jobs, keys)):
             if key is not None:
                 cached = self._results.get(key)
+                if cached is None:
+                    # Memo miss: the persistent store may still know
+                    # this job from an earlier run (or an earlier,
+                    # partially-crashed attempt at this sweep).
+                    cached = self._store_lookup(job)
+                    if cached is not None:
+                        self._results[key] = cached
+                        self.store_hits += 1
                 if cached is not None:
                     slots[i] = cached
                     continue
@@ -194,6 +285,7 @@ class JobRunner:
                 first_seen[key] = len(pending)
             pending_slots[len(pending)] = [i]
             pending.append(job)
+        self.dispatched += len(pending)
         results = self._dispatch(pending)
         for pi, stats in enumerate(results):
             for i in pending_slots[pi]:
@@ -201,6 +293,7 @@ class JobRunner:
             key = keys[pending_slots[pi][0]]
             if key is not None:
                 self._results[key] = stats
+                self._store_commit(pending[pi], stats)
         if self.tracer is not None:
             # Deduped jobs still emit their per-job counters (the
             # report's per-mode sums must not depend on memo hits).
@@ -215,6 +308,23 @@ class JobRunner:
         return slots
 
     def _dispatch(self, sim_jobs: List[SimJob]) -> List[SimulationStats]:
+        if self.dispatcher is not None:
+            if not sim_jobs:
+                return []
+            # Service-dispatch path: the scheduler owns parallelism,
+            # retries, and crash recovery; telemetry is emitted here
+            # exactly as for the process-pool path (workers cannot
+            # share the tracer).
+            from .parallel import describe_job
+
+            for job in sim_jobs:
+                if job.spec is not None:
+                    self._spec_keys.add(spec_key(job.spec))
+            results = self.dispatcher(sim_jobs, self.config_overrides)
+            if self.tracer is not None:
+                for job, stats in zip(sim_jobs, results):
+                    self._emit_job_telemetry(job, describe_job(job), stats)
+            return results
         reporter = None
         if self.progress and sim_jobs:
             from ..obs.progress import ProgressReporter

@@ -42,11 +42,15 @@ from .metrics import MetricsRegistry
 from .progress import ProgressReporter, format_eta
 from .report import render_report
 from .schema import (
+    JOURNAL_EVENTS,
+    JOURNAL_TYPES,
     REQUIRED_MANIFEST_KEYS,
     RunLogError,
+    assert_valid_journal,
     assert_valid_predictor_block,
     assert_valid_run_log,
     assert_valid_sampler_block,
+    lint_journal,
     lint_predictor_block,
     lint_run_log,
     lint_sampler_block,
@@ -54,6 +58,8 @@ from .schema import (
 from .tracer import RECORD_TYPES, SpanTracer
 
 __all__ = [
+    "JOURNAL_EVENTS",
+    "JOURNAL_TYPES",
     "MANIFEST_FORMAT",
     "MANIFEST_VERSION",
     "MetricsRegistry",
@@ -62,6 +68,7 @@ __all__ = [
     "REQUIRED_MANIFEST_KEYS",
     "RunLogError",
     "SpanTracer",
+    "assert_valid_journal",
     "assert_valid_predictor_block",
     "assert_valid_run_log",
     "assert_valid_sampler_block",
@@ -73,6 +80,7 @@ __all__ = [
     "finish_manifest",
     "format_eta",
     "git_sha",
+    "lint_journal",
     "lint_predictor_block",
     "lint_run_log",
     "lint_sampler_block",

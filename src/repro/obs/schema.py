@@ -359,6 +359,111 @@ def assert_valid_predictor_block(block: Any, max_shown: int = 20) -> None:
         raise RunLogError(text)
 
 
+#: Record types the service journal may contain.
+JOURNAL_TYPES = ("service", "sweep", "job")
+
+#: Legal ``event`` values per journal record type (the sweep/job state
+#: machines of :mod:`repro.service`).
+JOURNAL_EVENTS = {
+    "service": ("start", "recovered", "drain", "stop"),
+    "sweep": ("accepted", "running", "done", "failed", "interrupted"),
+    "job": ("dispatch", "store_hit", "done", "crash", "retry",
+            "quarantine"),
+}
+
+
+def lint_journal(path) -> List[str]:
+    """Structurally lint a service journal (JSONL, fsynced appends).
+
+    The journal is the service's crash-safety record: every sweep and
+    job state transition is appended (and fsynced) before the service
+    acts on it, so recovery after a crash replays the journal to learn
+    which sweeps were in flight.  The lint enforces the append
+    discipline the same way :func:`lint_run_log` does for run logs:
+
+    1. every line parses as a JSON object with a known ``type`` and a
+       ``seq`` increasing strictly from 0 (a rewritten or interleaved
+       journal is detectable);
+    2. every record names a known ``event`` for its type and carries a
+       numeric ``t`` wall-clock stamp;
+    3. ``sweep``/``job`` records name their sweep id; ``job`` records
+       carry a job label and an attempt count >= 1.
+    """
+    issues: List[str] = []
+    n_records = 0
+    with open(path, encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                issues.append(f"line {line_no}: blank line")
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                issues.append(f"line {line_no}: invalid JSON: {exc}")
+                continue
+            if not isinstance(rec, dict):
+                issues.append(f"line {line_no}: record is not an object")
+                continue
+            n_records += 1
+            rtype = rec.get("type")
+            if rtype not in JOURNAL_TYPES:
+                issues.append(
+                    f"line {line_no}: unknown journal record type "
+                    f"{rtype!r}"
+                )
+                continue
+            seq = rec.get("seq")
+            if not isinstance(seq, int) or seq != n_records - 1:
+                issues.append(
+                    f"line {line_no}: seq {seq!r} is not the expected "
+                    f"{n_records - 1} (truncated or rewritten journal?)"
+                )
+            if not _is_number(rec.get("t")):
+                issues.append(
+                    f"line {line_no}: {rtype} record has no numeric "
+                    "wall-clock stamp 't'"
+                )
+            event = rec.get("event")
+            if event not in JOURNAL_EVENTS[rtype]:
+                issues.append(
+                    f"line {line_no}: unknown {rtype} event {event!r}"
+                )
+            if rtype in ("sweep", "job"):
+                if not isinstance(rec.get("sweep"), str) \
+                        or not rec.get("sweep"):
+                    issues.append(
+                        f"line {line_no}: {rtype} record names no sweep"
+                    )
+            if rtype == "job":
+                if not isinstance(rec.get("job"), str) \
+                        or not rec.get("job"):
+                    issues.append(
+                        f"line {line_no}: job record has no job label"
+                    )
+                attempt = rec.get("attempt")
+                if not isinstance(attempt, int) or attempt < 1:
+                    issues.append(
+                        f"line {line_no}: job record attempt must be an "
+                        f"int >= 1, got {attempt!r}"
+                    )
+    if n_records == 0:
+        issues.append("journal is empty")
+    return issues
+
+
+def assert_valid_journal(path, max_shown: int = 20) -> None:
+    """Lint a service journal; raise :class:`RunLogError` on issues."""
+    issues = lint_journal(path)
+    if issues:
+        shown = issues[:max_shown]
+        text = f"{len(issues)} journal schema issue(s):\n  " + \
+            "\n  ".join(shown)
+        if len(issues) > len(shown):
+            text += f"\n  ... and {len(issues) - len(shown)} more"
+        raise RunLogError(text)
+
+
 def assert_valid_run_log(path, max_shown: int = 20) -> None:
     """Lint and raise :class:`RunLogError` listing the first issues."""
     issues = lint_run_log(path)

@@ -39,7 +39,8 @@ RECORD_TYPES = ("manifest", "span", "counter", "event")
 class SpanTracer:
     """Writes spans/counters/events as JSONL; see the module docstring."""
 
-    def __init__(self, path, manifest: Optional[Dict[str, Any]] = None):
+    def __init__(self, path, manifest: Optional[Dict[str, Any]] = None,
+                 autoflush: bool = False):
         self.path = os.fspath(path)
         directory = os.path.dirname(self.path)
         if directory:
@@ -50,6 +51,11 @@ class SpanTracer:
         self._seq = 0
         self._stack: List[str] = []
         self._closed = False
+        #: Flush after every record.  The sweep service streams a live
+        #: run log to ``watch`` subscribers, which only works if each
+        #: record is visible as soon as it is written; batch runs keep
+        #: the default (buffered) behavior.
+        self.autoflush = autoflush
         if manifest is not None:
             self._write({"type": "manifest", "manifest": manifest})
 
@@ -66,6 +72,8 @@ class SpanTracer:
         self._seq += 1
         self._fh.write(json.dumps(record, sort_keys=True, default=str))
         self._fh.write("\n")
+        if self.autoflush:
+            self._fh.flush()
 
     # -- producers -----------------------------------------------------
 

@@ -1,0 +1,53 @@
+"""Persistent sweep service: daemon, result store, journal, scheduler.
+
+The one-shot harness (``python -m repro.harness``) regenerates a figure
+per invocation.  This package turns that into a *service*: a daemon
+(``python -m repro.service serve``) that accepts experiment specs over a
+local HTTP API, schedules them on a retrying worker pool, and answers
+from a persistent content-addressed result store — so a re-submitted
+sweep is a 100% store hit and a crashed sweep resumes from whatever
+already committed.  See ``docs/service.md``.
+"""
+
+from .client import ServiceClient, ServiceError, discover
+from .journal import Journal, read_journal, replay_sweeps
+from .scheduler import RetryPolicy, SweepScheduler
+from .server import (
+    SERVICE_EXPERIMENTS,
+    SweepRecord,
+    SweepService,
+    make_server,
+    serve,
+    validate_spec,
+)
+from .store import (
+    STORE_FORMAT,
+    STORE_VERSION,
+    ResultStore,
+    result_key,
+    stats_from_doc,
+    stats_to_doc,
+)
+
+__all__ = [
+    "ServiceClient",
+    "ServiceError",
+    "discover",
+    "Journal",
+    "read_journal",
+    "replay_sweeps",
+    "RetryPolicy",
+    "SweepScheduler",
+    "SERVICE_EXPERIMENTS",
+    "SweepRecord",
+    "SweepService",
+    "make_server",
+    "serve",
+    "validate_spec",
+    "STORE_FORMAT",
+    "STORE_VERSION",
+    "ResultStore",
+    "result_key",
+    "stats_from_doc",
+    "stats_to_doc",
+]

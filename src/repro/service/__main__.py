@@ -1,0 +1,180 @@
+"""CLI for the sweep service: serve / submit / status / results / watch.
+
+Examples::
+
+    # Terminal 1: start the daemon (port 0 = pick a free port; the
+    # chosen address is published in <root>/service.json).
+    python -m repro.service serve --root /tmp/svc --workers 4
+
+    # Terminal 2: submit, stream, fetch.
+    python -m repro.service submit --root /tmp/svc \
+        --experiment figure5 --transactions 2 --scale tiny --wait
+    python -m repro.service status --root /tmp/svc sweep-0001-ab12cd34
+    python -m repro.service watch  --root /tmp/svc sweep-0001-ab12cd34
+    python -m repro.service results --root /tmp/svc sweep-0001-ab12cd34 \
+        --out out/figure5.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .client import ServiceClient, ServiceError
+from .server import SERVICE_EXPERIMENTS, serve
+
+
+def _client(args) -> ServiceClient:
+    return ServiceClient.from_root(args.root, timeout=args.timeout)
+
+
+def _cmd_serve(args) -> int:
+    return serve(
+        args.root, host=args.host, port=args.port,
+        n_workers=args.workers, trace_cache=args.trace_cache,
+    )
+
+
+def _build_spec(args) -> dict:
+    if args.spec is not None:
+        with open(args.spec, encoding="utf-8") as fh:
+            return json.load(fh)
+    spec = {
+        "experiment": args.experiment,
+        "transactions": args.transactions,
+        "seed": args.seed,
+        "scale": args.scale,
+    }
+    if args.benchmarks:
+        spec["benchmarks"] = args.benchmarks
+    return spec
+
+
+def _cmd_submit(args) -> int:
+    client = _client(args)
+    sweep_id = client.submit(_build_spec(args))
+    print(sweep_id)
+    if args.wait:
+        doc = client.wait(sweep_id, timeout=args.timeout)
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0 if doc["state"] == "done" else 1
+    return 0
+
+
+def _cmd_status(args) -> int:
+    client = _client(args)
+    if args.sweep is None:
+        doc = client.sweeps()
+    else:
+        doc = client.status(args.sweep)
+    print(json.dumps(doc, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_results(args) -> int:
+    client = _client(args)
+    doc = client.status(args.sweep)
+    if doc["state"] != "done":
+        print(f"sweep {args.sweep} is {doc['state']}", file=sys.stderr)
+        return 1
+    names = [n for n in doc["artifacts"] if n.endswith(".json")
+             and n != "run.jsonl"]
+    if args.artifact is not None:
+        names = [args.artifact]
+    for name in names:
+        body = client.artifact(args.sweep, name)
+        if args.out is not None:
+            out = Path(args.out)
+            if len(names) > 1 or out.is_dir():
+                out.mkdir(parents=True, exist_ok=True)
+                target = out / name
+            else:
+                out.parent.mkdir(parents=True, exist_ok=True)
+                target = out
+            target.write_bytes(body)
+            print(f"wrote {target}")
+        else:
+            sys.stdout.write(body.decode())
+            sys.stdout.write("\n")
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    client = _client(args)
+    doc = client.watch(
+        args.sweep, sink=lambda text: print(text, end="", flush=True),
+        timeout=args.timeout,
+    )
+    print(json.dumps({"state": doc["state"], "counts": doc["counts"]},
+                     sort_keys=True), file=sys.stderr)
+    return 0 if doc["state"] == "done" else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Persistent sweep service with a resumable "
+                    "content-addressed result store.",
+    )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--root", required=True,
+                        help="service root directory (store, journal, "
+                             "sweeps, discovery file)")
+    common.add_argument("--timeout", type=float, default=600.0,
+                        help="client request/wait timeout in seconds")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("serve", help="run the daemon", parents=[common])
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="0 picks a free port (published in service.json)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="simulation worker processes")
+    p.add_argument("--trace-cache", default=None,
+                   help="persistent trace cache directory")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("submit", parents=[common], help="submit an experiment spec")
+    p.add_argument("--experiment", choices=SERVICE_EXPERIMENTS,
+                   default="figure5")
+    p.add_argument("--transactions", type=int, default=4)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--scale", default="default",
+                   choices=("tiny", "default", "paper", "huge"))
+    p.add_argument("--benchmarks", nargs="*", default=None)
+    p.add_argument("--spec", default=None,
+                   help="JSON spec file (overrides the flags above)")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the sweep finishes")
+    p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser("status", parents=[common], help="show one sweep (or all)")
+    p.add_argument("sweep", nargs="?", default=None)
+    p.set_defaults(func=_cmd_status)
+
+    p = sub.add_parser("results", parents=[common], help="fetch a finished sweep's artifacts")
+    p.add_argument("sweep")
+    p.add_argument("--artifact", default=None,
+                   help="artifact file name (default: all result JSON)")
+    p.add_argument("--out", default=None,
+                   help="write to this file/directory instead of stdout")
+    p.set_defaults(func=_cmd_results)
+
+    p = sub.add_parser("watch", parents=[common], help="stream a sweep's live run log")
+    p.add_argument("sweep")
+    p.set_defaults(func=_cmd_watch)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

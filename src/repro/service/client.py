@@ -1,0 +1,141 @@
+"""Client for the sweep service daemon (stdlib ``urllib`` only).
+
+:class:`ServiceClient` talks the small JSON API in
+:mod:`repro.service.server`; the ``submit``/``status``/``results``/
+``watch`` subcommands of ``python -m repro.service`` are thin wrappers
+over it.  The daemon's address comes from the ``service.json`` discovery
+file under the service root, so clients need only ``--root``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+
+class ServiceError(RuntimeError):
+    """The daemon rejected a request or is unreachable."""
+
+
+def discover(root: Union[str, Path]) -> Dict[str, Any]:
+    """Read the daemon's host/port from its discovery file."""
+    path = Path(root) / "service.json"
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except FileNotFoundError:
+        raise ServiceError(
+            f"no service.json under {root} — is the daemon running? "
+            f"(start it with: python -m repro.service serve --root {root})"
+        ) from None
+
+
+class ServiceClient:
+    """Typed wrapper over the daemon's HTTP API."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    @classmethod
+    def from_root(cls, root: Union[str, Path],
+                  timeout: float = 30.0) -> "ServiceClient":
+        doc = discover(root)
+        return cls(f"http://{doc['host']}:{doc['port']}", timeout=timeout)
+
+    def _request(self, path: str, body: Optional[Dict[str, Any]] = None,
+                 raw: bool = False) -> Any:
+        url = f"{self.base_url}/api/v1/{path.lstrip('/')}"
+        data = None
+        headers = {}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        try:
+            with urlopen(Request(url, data=data, headers=headers),
+                         timeout=self.timeout) as resp:
+                payload = resp.read()
+        except HTTPError as exc:
+            detail = exc.read().decode(errors="replace").strip()
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except (json.JSONDecodeError, AttributeError):
+                pass
+            raise ServiceError(
+                f"{exc.code} from {url}: {detail}"
+            ) from None
+        except URLError as exc:
+            raise ServiceError(f"cannot reach {url}: {exc.reason}") from None
+        if raw:
+            return payload
+        return json.loads(payload)
+
+    # -- API surface ---------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("healthz")
+
+    def submit(self, spec: Dict[str, Any]) -> str:
+        """Submit an experiment spec; returns the sweep id."""
+        return self._request("sweeps", body=spec)["sweep"]
+
+    def status(self, sweep_id: str) -> Dict[str, Any]:
+        return self._request(f"sweeps/{sweep_id}")
+
+    def sweeps(self) -> Dict[str, Any]:
+        return self._request("sweeps")
+
+    def store(self) -> Dict[str, Any]:
+        return self._request("store")
+
+    def artifact(self, sweep_id: str, name: str) -> bytes:
+        return self._request(f"sweeps/{sweep_id}/artifacts/{name}",
+                             raw=True)
+
+    def log_chunk(self, sweep_id: str, offset: int = 0) -> Dict[str, Any]:
+        return self._request(f"sweeps/{sweep_id}/log?offset={offset}")
+
+    # -- conveniences --------------------------------------------------
+
+    def wait(self, sweep_id: str, timeout: float = 600.0,
+             poll: float = 0.2) -> Dict[str, Any]:
+        """Block until a sweep reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.status(sweep_id)
+            if doc["state"] in ("done", "failed", "interrupted"):
+                return doc
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"sweep {sweep_id} still {doc['state']} after "
+                    f"{timeout:.0f}s"
+                )
+            time.sleep(poll)
+
+    def watch(self, sweep_id: str, sink, timeout: float = 600.0,
+              poll: float = 0.2) -> Dict[str, Any]:
+        """Stream the sweep's run log to ``sink`` until it finishes.
+
+        ``sink`` is called with each new chunk of ``run.jsonl`` text —
+        the same span/counter records a ``--trace-out`` run writes,
+        flushed live by the daemon.  Returns the final status doc.
+        """
+        deadline = time.monotonic() + timeout
+        offset = 0
+        while True:
+            chunk = self.log_chunk(sweep_id, offset=offset)
+            if chunk["data"]:
+                sink(chunk["data"])
+            offset = chunk["offset"]
+            if chunk["done"]:
+                return self.status(sweep_id)
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"sweep {sweep_id} still {chunk['state']} after "
+                    f"{timeout:.0f}s"
+                )
+            time.sleep(poll)

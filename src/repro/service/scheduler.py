@@ -1,0 +1,291 @@
+"""Retrying worker-pool scheduler for the sweep service.
+
+The one-shot harness treats :class:`~repro.harness.parallel.JobFailure`
+as fatal: first failure cancels the sweep.  A long-running service
+cannot afford that — a worker OOM-killed or ``kill -9``'d mid-sweep
+must cost one retry, not the whole sweep.  This scheduler wraps a
+``ProcessPoolExecutor`` with:
+
+* **retry with capped exponential backoff** — a failed job is requeued
+  with delay ``backoff_base * 2**(attempt-1)``, capped at
+  ``backoff_cap``;
+* **poison-job quarantine** — a job that fails ``max_attempts`` times
+  is quarantined (journaled, reported in the sweep status) and the
+  sweep fails with a summary naming it, instead of retrying forever;
+* **worker-crash recovery** — a ``SIGKILL``'d worker breaks the whole
+  ``ProcessPoolExecutor`` (every outstanding future raises
+  ``BrokenProcessPool``); the scheduler rebuilds the pool and requeues
+  every unfinished job, charging each one attempt;
+* **result-order determinism** — results come back in submission
+  order, exactly like :func:`repro.harness.parallel.run_jobs_parallel`,
+  so a retried sweep is byte-identical to an undisturbed one.
+
+Workers are the same process-pool entry points the parallel harness
+uses (``_init_worker`` / ``_run_job``), so per-worker trace memos,
+copy-on-write compiled-region sharing, and tracecache-counter shipping
+all carry over unchanged.
+
+``arm_fault`` injects a deterministic worker crash (the dispatching
+worker SIGKILLs itself exactly once, guarded by an ``O_EXCL`` marker
+file) — the CI crash-recovery gate and the tests drive it; production
+sweeps never arm it.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..harness.parallel import (
+    JobFailure,
+    _init_worker,
+    _run_job,
+    _warm_spec,
+    describe_job,
+    merge_tracecache_stats,
+)
+from ..harness.tracecache import spec_key
+from ..sim import SimulationStats
+
+
+def _service_job(job, config_overrides=None, crash_token=None):
+    """Worker entry: optionally crash (fault injection), then simulate.
+
+    ``crash_token`` is a path; the first worker to create it SIGKILLs
+    itself — indistinguishable from an external ``kill -9`` — and the
+    marker file keeps the retry from crashing again.
+    """
+    if crash_token is not None:
+        try:
+            fd = os.open(crash_token, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            pass
+        else:
+            os.close(fd)
+            os.kill(os.getpid(), signal.SIGKILL)
+    return _run_job(job, config_overrides)
+
+
+@dataclass
+class RetryPolicy:
+    """How hard the scheduler tries before quarantining a job."""
+
+    max_attempts: int = 3
+    backoff_base: float = 0.1
+    backoff_cap: float = 2.0
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        return min(self.backoff_cap,
+                   self.backoff_base * (2 ** (attempt - 1)))
+
+
+class SweepScheduler:
+    """Persistent worker pool with retry/requeue/quarantine semantics.
+
+    One scheduler serves every sweep of a service instance, so workers
+    stay warm (trace memos, compiled regions) across submissions.  Use
+    :meth:`begin_sweep` to reset the per-sweep counters and journal
+    routing, then :meth:`run_jobs` as the :class:`JobRunner` dispatcher.
+    """
+
+    def __init__(self, n_workers: int = 2, trace_cache=None,
+                 policy: Optional[RetryPolicy] = None, journal=None):
+        self.n_workers = max(1, n_workers)
+        self.trace_cache = trace_cache
+        self.policy = policy or RetryPolicy()
+        self.journal = journal
+        self.sweep_id: Optional[str] = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+        # Per-sweep telemetry (reset by begin_sweep).
+        self.retries = 0
+        self.worker_crashes = 0
+        self.quarantined: List[str] = []
+        # Fault injection (armed per sweep, at most one crash).
+        self._crash_token: Optional[str] = None
+        self._crash_after: Optional[int] = None
+        self._dispatch_count = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    def begin_sweep(self, sweep_id: Optional[str]) -> None:
+        self.sweep_id = sweep_id
+        self.retries = 0
+        self.worker_crashes = 0
+        self.quarantined = []
+        self._crash_token = None
+        self._crash_after = None
+        self._dispatch_count = 0
+
+    def arm_fault(self, crash_token: str, after_dispatches: int) -> None:
+        """Make the worker dispatching the Nth job of this sweep die."""
+        self._crash_token = crash_token
+        self._crash_after = after_dispatches
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # -- plumbing ------------------------------------------------------
+
+    def _journal(self, event: str, **attrs) -> None:
+        if self.journal is not None and self.sweep_id is not None:
+            self.journal.append("job", event, sweep=self.sweep_id,
+                                **attrs)
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                initializer=_init_worker,
+                initargs=(self.trace_cache, None),
+            )
+        return self._pool
+
+    def _rebuild_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        self._ensure_pool()
+
+    def _submit(self, job, config_overrides, attempt: int):
+        self._dispatch_count += 1
+        token = None
+        if (
+            self._crash_token is not None
+            and self._crash_after is not None
+            and self._dispatch_count >= self._crash_after
+        ):
+            token = self._crash_token
+        return self._ensure_pool().submit(
+            _service_job, job, config_overrides, token
+        )
+
+    # -- dispatch ------------------------------------------------------
+
+    def warm_traces(self, jobs: Sequence) -> None:
+        """Materialize each unique trace spec once before dispatch."""
+        if self.trace_cache is None:
+            return
+        unique = {}
+        for job in jobs:
+            if job.spec is not None:
+                unique.setdefault(spec_key(job.spec), job.spec)
+        if not unique:
+            return
+        pool = self._ensure_pool()
+        try:
+            for future in [pool.submit(_warm_spec, spec)
+                           for spec in unique.values()]:
+                merge_tracecache_stats(future.result()[1])
+        except BrokenProcessPool:
+            # A crash during warm-up: rebuild and let the per-job retry
+            # machinery regenerate whatever is missing.
+            self.worker_crashes += 1
+            self._rebuild_pool()
+
+    def run_jobs(self, jobs: Sequence, config_overrides=None
+                 ) -> List[SimulationStats]:
+        """Run a job list with retries; results in submission order.
+
+        Raises :class:`JobFailure` naming the quarantined jobs if any
+        job exhausts its attempts.
+        """
+        jobs = list(jobs)
+        self.warm_traces(jobs)
+        results: List[Optional[SimulationStats]] = [None] * len(jobs)
+        attempts = [0] * len(jobs)
+        failures: Dict[int, str] = {}
+        queue = deque(range(len(jobs)))
+        futures: Dict[object, int] = {}
+        remaining = len(jobs)
+
+        def requeue(idx: int, error: str, crashed: bool) -> None:
+            attempts[idx] += 1
+            label = describe_job(jobs[idx])
+            if attempts[idx] >= self.policy.max_attempts:
+                failures[idx] = error
+                self.quarantined.append(label)
+                self._journal("quarantine", job=label,
+                              attempt=attempts[idx])
+                return
+            self.retries += 1
+            self._journal("retry", job=label, attempt=attempts[idx],
+                          crashed=crashed)
+            if not crashed:
+                time.sleep(self.policy.delay(attempts[idx]))
+            queue.append(idx)
+
+        while remaining:
+            while queue:
+                idx = queue.popleft()
+                label = describe_job(jobs[idx])
+                self._journal("dispatch", job=label,
+                              attempt=attempts[idx] + 1)
+                try:
+                    futures[self._submit(jobs[idx], config_overrides,
+                                         attempts[idx])] = idx
+                except BrokenProcessPool:
+                    self.worker_crashes += 1
+                    self._rebuild_pool()
+                    queue.appendleft(idx)
+            if not futures:
+                # Everything left is quarantined.
+                break
+            done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
+            crashed_pool = False
+            for future in done:
+                idx = futures.pop(future)
+                exc = future.exception()
+                if exc is None:
+                    stats, delta = future.result()
+                    merge_tracecache_stats(delta)
+                    results[idx] = stats
+                    remaining -= 1
+                    self._journal("done", job=describe_job(jobs[idx]),
+                                  attempt=attempts[idx] + 1)
+                elif isinstance(exc, BrokenProcessPool):
+                    crashed_pool = True
+                    requeue(idx, str(exc), crashed=True)
+                    if results[idx] is None and idx in failures:
+                        remaining -= 1
+                elif isinstance(exc, JobFailure):
+                    requeue(idx, str(exc), crashed=False)
+                    if idx in failures:
+                        remaining -= 1
+                else:
+                    # Unexpected scheduler-side error: not retryable.
+                    failures[idx] = str(exc)
+                    self.quarantined.append(describe_job(jobs[idx]))
+                    remaining -= 1
+            if crashed_pool:
+                self.worker_crashes += 1
+                # Every future still outstanding died with the pool.
+                for future, idx in list(futures.items()):
+                    requeue(idx, "worker pool broke", crashed=True)
+                    if idx in failures:
+                        remaining -= 1
+                futures.clear()
+                self._rebuild_pool()
+        if failures:
+            details = "\n".join(
+                f"  {describe_job(jobs[idx])} (after {attempts[idx]} "
+                f"attempts): {error.splitlines()[0] if error else '?'}"
+                for idx, error in sorted(failures.items())
+            )
+            raise JobFailure(
+                f"{len(failures)} job(s) quarantined after repeated "
+                f"failures:\n{details}"
+            )
+        return results  # type: ignore[return-value]

@@ -1,0 +1,601 @@
+"""The sweep service daemon: a persistent, memoizing experiment server.
+
+``python -m repro.service serve --root DIR`` starts a local HTTP daemon
+that accepts experiment specs (figure5/figure6/ablations job lists, or
+raw ``SimJob`` specs), schedules them on a retrying worker pool
+(:mod:`repro.service.scheduler`), and answers from the persistent
+content-addressed result store (:mod:`repro.service.store`).  The
+"heavy traffic from many users" shape: many clients, one warm service —
+re-requested sweep points are store hits, worker crashes are retries,
+and a daemon crash is recovered from the journal plus the store, never
+rerun from scratch.
+
+Layout under ``--root``::
+
+    service.json        host/port/pid discovery file (atomic)
+    journal.jsonl       crash-safe sweep/job state journal
+    store/              content-addressed result store
+    sweeps/<id>/        per-sweep artifacts + streamed run.jsonl
+
+Sweeps execute one at a time (determinism and pool ownership stay
+simple; parallelism lives *inside* a sweep, across its jobs).  Each
+sweep gets a fresh :class:`JobRunner` wired to the shared store and
+scheduler, and a :class:`SpanTracer` in autoflush mode writing
+``run.jsonl`` — the same span/counter records a ``--trace-out`` harness
+run produces, streamed live to ``watch`` subscribers over the log
+endpoint instead of a private progress protocol.
+
+On SIGTERM the daemon drains: new submissions get 503, queued sweeps
+finish, the journal records the stop, and the process exits 0.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import signal
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from ..harness import (
+    ExperimentContext,
+    JobRunner,
+    TraceSpec,
+    run_figure5,
+    run_figure6,
+)
+from ..harness.ablations import (
+    run_adaptive_spacing_ablation,
+    run_l1_tracking_ablation,
+    run_load_granularity_ablation,
+    run_overlap_loads_ablation,
+    run_start_cost_ablation,
+    run_victim_cache_ablation,
+)
+from ..harness.export import export_json
+from ..harness.parallel import describe_job
+from ..obs import SpanTracer, build_manifest, finish_manifest
+from ..obs.atomicio import atomic_write_json
+from ..sim import MachineConfig, SimulationStats
+from ..tpcc import TPCCScale
+from .journal import Journal, read_journal, replay_sweeps
+from .scheduler import RetryPolicy, SweepScheduler
+from .store import ResultStore
+
+API_PREFIX = "/api/v1"
+
+#: Experiments a spec may name.
+SERVICE_EXPERIMENTS = ("figure5", "figure6", "ablations", "raw")
+
+
+def _resolve_scale(name: Optional[str]) -> Optional[TPCCScale]:
+    if name in (None, "default"):
+        return None
+    if name == "tiny":
+        return TPCCScale.tiny()
+    if name == "paper":
+        return TPCCScale.paper()
+    if name == "huge":
+        return TPCCScale.huge()
+    raise ValueError(f"unknown scale {name!r}")
+
+
+def validate_spec(spec: Any) -> Dict[str, Any]:
+    """Normalize and validate a submitted experiment spec."""
+    if not isinstance(spec, dict):
+        raise ValueError("spec must be a JSON object")
+    experiment = spec.get("experiment")
+    if experiment not in SERVICE_EXPERIMENTS:
+        raise ValueError(
+            f"unknown experiment {experiment!r}; expected one of "
+            f"{SERVICE_EXPERIMENTS}"
+        )
+    out = {
+        "experiment": experiment,
+        "transactions": int(spec.get("transactions", 4)),
+        "seed": int(spec.get("seed", 42)),
+        "scale": spec.get("scale", "default"),
+    }
+    _resolve_scale(out["scale"])  # raises on bad names
+    if spec.get("benchmarks") is not None:
+        benchmarks = spec["benchmarks"]
+        if not isinstance(benchmarks, list) or not all(
+            isinstance(b, str) for b in benchmarks
+        ):
+            raise ValueError("benchmarks must be a list of names")
+        out["benchmarks"] = benchmarks
+    if experiment == "raw":
+        jobs = spec.get("jobs")
+        if not isinstance(jobs, list) or not jobs:
+            raise ValueError("raw spec needs a non-empty jobs list")
+        out["jobs"] = jobs
+    fault = spec.get("fault")
+    if fault is not None:
+        if not isinstance(fault, dict) or not isinstance(
+            fault.get("kill_worker_after"), int
+        ):
+            raise ValueError(
+                "fault must be {'kill_worker_after': <int dispatch #>}"
+            )
+        out["fault"] = {
+            "kill_worker_after": fault["kill_worker_after"]
+        }
+    return out
+
+
+@dataclass
+class SweepRecord:
+    """Everything the service knows about one submitted sweep."""
+
+    id: str
+    spec: Dict[str, Any]
+    state: str = "accepted"  # accepted -> running -> done|failed
+    error: Optional[str] = None
+    created_unix: float = field(default_factory=lambda: round(
+        time.time(), 3))
+    finished_unix: Optional[float] = None
+    out_dir: Optional[str] = None
+    artifacts: List[str] = field(default_factory=list)
+    counts: Dict[str, Any] = field(default_factory=dict)
+
+    def status_doc(self) -> Dict[str, Any]:
+        return {
+            "sweep": self.id,
+            "state": self.state,
+            "spec": self.spec,
+            "error": self.error,
+            "created_unix": self.created_unix,
+            "finished_unix": self.finished_unix,
+            "out_dir": self.out_dir,
+            "artifacts": list(self.artifacts),
+            "counts": dict(self.counts),
+        }
+
+
+class SweepService:
+    """Daemon state: store, journal, scheduler, sweep registry."""
+
+    def __init__(self, root, n_workers: int = 2, trace_cache=None,
+                 policy: Optional[RetryPolicy] = None):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.store = ResultStore(self.root / "store")
+        self.trace_cache = trace_cache
+        self._lock = threading.Lock()
+        self.sweeps: Dict[str, SweepRecord] = {}
+        self._recover()
+        self.journal = Journal(self.root / "journal.jsonl")
+        self.journal.append("service", "start", pid=os.getpid())
+        if self.sweeps:
+            self.journal.append(
+                "service", "recovered",
+                interrupted=[s.id for s in self.sweeps.values()
+                             if s.state == "interrupted"],
+            )
+        self.scheduler = SweepScheduler(
+            n_workers=n_workers, trace_cache=trace_cache,
+            policy=policy, journal=self.journal,
+        )
+        self.draining = False
+        self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
+        self._executor = threading.Thread(
+            target=self._run_sweeps, name="sweep-executor", daemon=True
+        )
+        self._executor.start()
+        self._counter = 0
+
+    # -- recovery ------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Replay the journal: in-flight sweeps become ``interrupted``.
+
+        Their completed jobs live in the result store, so resubmitting
+        the same spec resumes from what committed instead of starting
+        over.
+        """
+        path = self.root / "journal.jsonl"
+        if not path.exists():
+            return
+        for sweep_id, state in replay_sweeps(read_journal(path)).items():
+            record = SweepRecord(
+                id=sweep_id,
+                spec=state.get("spec") or {},
+                state=state["state"],
+            )
+            record.counts = {
+                "retries": state["retries"],
+                "quarantined": state["quarantined"],
+            }
+            self.sweeps[sweep_id] = record
+
+    # -- submission ----------------------------------------------------
+
+    def submit(self, spec: Dict[str, Any]) -> SweepRecord:
+        spec = validate_spec(spec)
+        if self.draining:
+            raise RuntimeError("service is draining; not accepting work")
+        with self._lock:
+            self._counter += 1
+            sweep_id = f"sweep-{self._counter:04d}-{uuid.uuid4().hex[:8]}"
+            record = SweepRecord(id=sweep_id, spec=spec)
+            self.sweeps[sweep_id] = record
+            self.journal.append("sweep", "accepted", sweep=sweep_id,
+                                spec=spec)
+        self._queue.put(sweep_id)
+        return record
+
+    def status(self, sweep_id: str) -> SweepRecord:
+        with self._lock:
+            record = self.sweeps.get(sweep_id)
+        if record is None:
+            raise KeyError(sweep_id)
+        return record
+
+    # -- execution -----------------------------------------------------
+
+    def _run_sweeps(self) -> None:
+        while True:
+            sweep_id = self._queue.get()
+            if sweep_id is None:
+                return
+            record = self.status(sweep_id)
+            try:
+                self._execute(record)
+            except Exception as exc:  # sweep failed; daemon lives on
+                with self._lock:
+                    record.state = "failed"
+                    record.error = str(exc)
+                    record.finished_unix = round(time.time(), 3)
+                    self.journal.append(
+                        "sweep", "failed", sweep=record.id,
+                        error=str(exc).splitlines()[0],
+                    )
+
+    def _experiment_result(self, record: SweepRecord,
+                           ctx: ExperimentContext) -> Tuple[Any, str]:
+        spec = record.spec
+        name = spec["experiment"]
+        if name == "figure5":
+            return run_figure5(
+                ctx, benchmarks=spec.get("benchmarks")
+            ), "figure5"
+        if name == "figure6":
+            if spec.get("benchmarks"):
+                return run_figure6(
+                    ctx, benchmarks=tuple(spec["benchmarks"])
+                ), "figure6"
+            return run_figure6(ctx), "figure6"
+        if name == "ablations":
+            return [
+                run_victim_cache_ablation(ctx),
+                run_start_cost_ablation(ctx),
+                run_load_granularity_ablation(ctx),
+                run_l1_tracking_ablation(ctx),
+                run_adaptive_spacing_ablation(ctx),
+                run_overlap_loads_ablation(ctx),
+            ], "ablations"
+        if name == "raw":
+            return self._run_raw(record, ctx), "raw"
+        raise ValueError(name)
+
+    def _run_raw(self, record: SweepRecord,
+                 ctx: ExperimentContext) -> Dict[str, Any]:
+        """Run a raw SimJob list: explicit trace specs + config modes."""
+        from ..harness import SimJob
+
+        scale = _resolve_scale(record.spec["scale"])
+        jobs = []
+        for entry in record.spec["jobs"]:
+            spec_fields = dict(entry.get("spec") or {})
+            spec_fields.setdefault(
+                "n_transactions", record.spec["transactions"]
+            )
+            spec_fields.setdefault("seed", record.spec["seed"])
+            if "scale" not in spec_fields and scale is not None:
+                spec_fields["scale"] = scale
+            trace_spec = TraceSpec(**spec_fields)
+            mode = entry.get("mode", "baseline")
+            jobs.append(SimJob(
+                config=MachineConfig.for_mode(mode), spec=trace_spec
+            ))
+        stats_list = ctx.run(jobs)
+        return {
+            "jobs": [
+                {"job": describe_job(job), **_stats_summary(stats)}
+                for job, stats in zip(jobs, stats_list)
+            ]
+        }
+
+    def _execute(self, record: SweepRecord) -> None:
+        spec = record.spec
+        out_dir = self.root / "sweeps" / record.id
+        out_dir.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            record.state = "running"
+            record.out_dir = os.fspath(out_dir)
+            self.journal.append("sweep", "running", sweep=record.id)
+        self.scheduler.begin_sweep(record.id)
+        fault = spec.get("fault")
+        if fault is not None:
+            faults_dir = self.root / "faults"
+            faults_dir.mkdir(exist_ok=True)
+            self.scheduler.arm_fault(
+                os.fspath(faults_dir / f"{record.id}.crash"),
+                fault["kill_worker_after"],
+            )
+        store_before = self.store.counters()
+        runner = JobRunner(
+            jobs=1,
+            trace_cache=self.trace_cache,
+            result_store=self.store,
+            dispatcher=self.scheduler.run_jobs,
+        )
+        ctx = ExperimentContext(
+            n_transactions=spec["transactions"],
+            seed=spec["seed"],
+            scale=_resolve_scale(spec["scale"]),
+            runner=runner,
+        )
+        manifest = build_manifest(
+            command=["repro.service", "sweep", record.id],
+            config=spec, seed=spec["seed"],
+        )
+        tracer = SpanTracer(out_dir / "run.jsonl", manifest=manifest,
+                            autoflush=True)
+        runner.tracer = tracer
+        t0 = time.perf_counter()
+        try:
+            with tracer.span(f"experiment.{spec['experiment']}"):
+                result, artifact = self._experiment_result(record, ctx)
+            elapsed = time.perf_counter() - t0
+            done = finish_manifest(
+                manifest, elapsed,
+                trace_spec_keys=runner.trace_spec_keys(),
+            )
+            done["artifact"] = artifact
+            export_json(result, out_dir / f"{artifact}.json",
+                        manifest=done)
+        finally:
+            store_after = self.store.counters()
+            counts = {
+                "jobs": runner.dispatched + runner.store_hits,
+                "dispatched": runner.dispatched,
+                "store_hits": runner.store_hits,
+                "store_puts": (
+                    store_after["puts"] - store_before["puts"]
+                ),
+                "retries": self.scheduler.retries,
+                "worker_crashes": self.scheduler.worker_crashes,
+                "quarantined": list(self.scheduler.quarantined),
+            }
+            tracer.counter("service.sweep", {
+                k: v for k, v in counts.items()
+                if isinstance(v, (int, float))
+            }, sweep=record.id)
+            tracer.close()
+        with self._lock:
+            record.state = "done"
+            record.finished_unix = round(time.time(), 3)
+            record.artifacts = sorted(
+                p.name for p in out_dir.iterdir() if p.is_file()
+            )
+            record.counts = counts
+            self.journal.append("sweep", "done", sweep=record.id,
+                                **{k: v for k, v in counts.items()
+                                   if k != "quarantined"})
+
+    # -- shutdown ------------------------------------------------------
+
+    def drain(self) -> None:
+        """Stop accepting work; finish queued sweeps; journal the stop."""
+        if self.draining:
+            return
+        self.draining = True
+        self.journal.append("service", "drain")
+        self._queue.put(None)
+        self._executor.join()
+        self.scheduler.shutdown()
+        self.journal.append("service", "stop")
+        self.journal.close()
+
+
+def _stats_summary(stats: SimulationStats) -> Dict[str, Any]:
+    return {
+        "total_cycles": stats.total_cycles,
+        "counters": stats.counters(),
+    }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """HTTP surface over :class:`SweepService` (JSON in, JSON out)."""
+
+    service: SweepService  # set by make_server
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - BaseHTTP API
+        pass  # the journal and run logs are the record, not stderr
+
+    def _send_json(self, doc: Any, code: int = 200) -> None:
+        body = json.dumps(doc, sort_keys=True).encode() + b"\n"
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_bytes(self, body: bytes,
+                    content_type: str = "application/octet-stream"
+                    ) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, code: int, message: str) -> None:
+        self._send_json({"error": message}, code=code)
+
+    # -- routes --------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTP API
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        try:
+            if url.path == f"{API_PREFIX}/healthz":
+                self._send_json({
+                    "ok": True,
+                    "draining": self.service.draining,
+                    "pid": os.getpid(),
+                    "store": self.service.store.counters(),
+                })
+            elif url.path == f"{API_PREFIX}/sweeps":
+                with self.service._lock:
+                    docs = [r.status_doc()
+                            for r in self.service.sweeps.values()]
+                self._send_json({"sweeps": docs})
+            elif url.path == f"{API_PREFIX}/store":
+                self._send_json(self.service.store.scan())
+            elif len(parts) >= 3 and parts[:2] == ["api", "v1"] \
+                    and parts[2] == "sweeps" and len(parts) >= 4:
+                self._sweep_route(parts[3:], url)
+            else:
+                self._error(404, f"no route for {url.path}")
+        except BrokenPipeError:
+            pass
+
+    def _sweep_route(self, parts: List[str], url) -> None:
+        try:
+            record = self.service.status(parts[0])
+        except KeyError:
+            self._error(404, f"unknown sweep {parts[0]!r}")
+            return
+        if len(parts) == 1:
+            self._send_json(record.status_doc())
+        elif parts[1] == "artifacts" and len(parts) == 2:
+            self._send_json({"artifacts": list(record.artifacts)})
+        elif parts[1] == "artifacts" and len(parts) == 3:
+            name = parts[2]
+            if record.out_dir is None or name not in record.artifacts:
+                self._error(404, f"no artifact {name!r}")
+                return
+            path = Path(record.out_dir) / name
+            self._send_bytes(path.read_bytes())
+        elif parts[1] == "log":
+            # Poll-based streaming of the sweep's live run.jsonl: the
+            # client passes the byte offset it has consumed and gets
+            # everything newer plus a done flag.
+            offset = 0
+            query = parse_qs(url.query)
+            if "offset" in query:
+                offset = int(query["offset"][0])
+            data = b""
+            if record.out_dir is not None:
+                log_path = Path(record.out_dir) / "run.jsonl"
+                if log_path.exists():
+                    with open(log_path, "rb") as fh:
+                        fh.seek(offset)
+                        data = fh.read()
+            self._send_json({
+                "data": data.decode("utf-8", errors="replace"),
+                "offset": offset + len(data),
+                "state": record.state,
+                "done": record.state in ("done", "failed",
+                                         "interrupted"),
+            })
+        else:
+            self._error(404, "unknown sweep subresource")
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTP API
+        url = urlparse(self.path)
+        if url.path != f"{API_PREFIX}/sweeps":
+            self._error(404, f"no route for {url.path}")
+            return
+        length = int(self.headers.get("Content-Length", 0))
+        try:
+            spec = json.loads(self.rfile.read(length) or b"{}")
+            record = self.service.submit(spec)
+        except ValueError as exc:
+            self._error(400, str(exc))
+            return
+        except RuntimeError as exc:  # draining
+            self._error(503, str(exc))
+            return
+        self._send_json({"sweep": record.id,
+                         "state": record.state}, code=202)
+
+
+def make_server(service: SweepService, host: str = "127.0.0.1",
+                port: int = 0) -> ThreadingHTTPServer:
+    """An HTTP server bound to ``host:port`` serving ``service``."""
+    handler = type("BoundHandler", (_Handler,), {"service": service})
+    httpd = ThreadingHTTPServer((host, port), handler)
+    return httpd
+
+
+def write_discovery(service: SweepService,
+                    httpd: ThreadingHTTPServer) -> Path:
+    """Atomically publish host/port/pid for clients under the root."""
+    path = service.root / "service.json"
+    atomic_write_json(path, {
+        "host": httpd.server_address[0],
+        "port": httpd.server_address[1],
+        "pid": os.getpid(),
+        "created_unix": round(time.time(), 3),
+    })
+    return path
+
+
+def serve(root, host: str = "127.0.0.1", port: int = 0,
+          n_workers: int = 2, trace_cache=None,
+          policy: Optional[RetryPolicy] = None,
+          install_signals: bool = True) -> int:
+    """Run the daemon until SIGTERM/SIGINT; returns the exit code.
+
+    SIGTERM triggers a graceful drain: the HTTP server stops accepting
+    submissions (503), queued sweeps run to completion, the journal
+    records ``drain``/``stop``, and the function returns 0.
+    """
+    service = SweepService(root, n_workers=n_workers,
+                           trace_cache=trace_cache, policy=policy)
+    httpd = make_server(service, host=host, port=port)
+    discovery = write_discovery(service, httpd)
+    stopping = threading.Event()
+
+    def _stop(signum=None, frame=None):
+        if stopping.is_set():
+            return
+        stopping.set()
+        # Drain in a helper thread: signal handlers must not block, and
+        # httpd.shutdown() deadlocks if called from serve_forever's own
+        # thread.
+        def _drain_and_stop():
+            service.drain()
+            httpd.shutdown()
+        threading.Thread(target=_drain_and_stop, daemon=True).start()
+
+    if install_signals:
+        signal.signal(signal.SIGTERM, _stop)
+        signal.signal(signal.SIGINT, _stop)
+    host_shown, port_shown = httpd.server_address[:2]
+    print(f"repro.service listening on http://{host_shown}:{port_shown} "
+          f"(root {service.root})", flush=True)
+    try:
+        httpd.serve_forever(poll_interval=0.2)
+    finally:
+        httpd.server_close()
+        try:
+            discovery.unlink()
+        except OSError:
+            pass
+        if not service.draining:
+            service.drain()
+    return 0

@@ -93,6 +93,61 @@ class TestAtomicIO:
         assert path.read_text() == "original"
         assert os.listdir(tmp_path) == ["out.json"]
 
+    def test_fsyncs_temp_file_then_directory(self, tmp_path, monkeypatch):
+        """The commit sequence is write → fsync file → rename → fsync dir.
+
+        ``os.replace`` alone only orders metadata: after a power loss an
+        un-fsynced temp file can replay as truncated even though the
+        rename committed.  Record every fsync by inode and assert both
+        the data fsync (before the rename) and the directory fsync
+        (after it) happen, in that order.
+        """
+        synced = []
+        real_fsync = os.fsync
+
+        def spy(fd):
+            synced.append(os.fstat(fd).st_ino)
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", spy)
+        path = tmp_path / "out.json"
+        with atomic_output_file(path) as tmp:
+            with open(tmp, "w") as fh:
+                fh.write("payload")
+            tmp_ino = os.stat(tmp).st_ino
+        dir_ino = os.stat(tmp_path).st_ino
+        assert tmp_ino in synced
+        assert dir_ino in synced
+        assert synced.index(tmp_ino) < synced.index(dir_ino)
+
+    def test_fsync_failure_aborts_commit(self, tmp_path, monkeypatch):
+        """Fault injection: a failed data fsync must not commit.
+
+        If the disk rejects the flush, the destination keeps its old
+        content and the temp file is cleaned up — never a renamed,
+        possibly-truncated artifact.
+        """
+        path = tmp_path / "out.json"
+        path.write_text("original")
+
+        def broken_fsync(fd):
+            raise OSError(5, "injected I/O error")
+
+        monkeypatch.setattr(os, "fsync", broken_fsync)
+        with pytest.raises(OSError, match="injected"):
+            with atomic_output_file(path) as tmp:
+                with open(tmp, "w") as fh:
+                    fh.write("new content")
+        assert path.read_text() == "original"
+        assert os.listdir(tmp_path) == ["out.json"]
+
+    def test_directory_fsync_failure_is_tolerated(self):
+        """Platforms that can't open directories still commit the file:
+        the directory fsync is best-effort and must never raise."""
+        from repro.obs.atomicio import _fsync_dir
+
+        _fsync_dir("/no/such/directory/anywhere")  # must not raise
+
     def test_json_trailing_newline_flag(self, tmp_path):
         with_nl = tmp_path / "a.json"
         without = tmp_path / "b.json"

@@ -145,3 +145,117 @@ class TestParallelDeterminism:
         ]
         # Same config twice → same stats, in the submitted positions.
         assert parallel[0].total_cycles == parallel[2].total_cycles
+
+
+class TestTracecacheStatsAggregation:
+    """Worker-process STATS movement must reach the parent's counters.
+
+    Workers mutate their own fork of ``tracecache.STATS``, which dies
+    with the process; every worker return value therefore carries a
+    per-call delta that the parent folds back in.  Without that, traced
+    ``--jobs N`` runs report zero generations no matter how many traces
+    the workers built.
+    """
+
+    def _delta(self, before, after):
+        return {k: after[k] - before.get(k, 0) for k in after}
+
+    def test_parallel_generation_totals_match_serial(self, tmp_path):
+        from repro.harness.tracecache import STATS
+
+        specs = [_tiny_spec(seed=90), _tiny_spec(seed=91)]
+        jobs = [
+            SimJob(config=MachineConfig.for_mode(mode), spec=spec)
+            for spec in specs
+            for mode in (ExecutionMode.TLS_SEQ, ExecutionMode.BASELINE)
+        ]
+        before = dict(STATS)
+        JobRunner(jobs=1, trace_cache=tmp_path / "serial").run(jobs)
+        serial = self._delta(before, STATS)
+
+        before = dict(STATS)
+        run_jobs_parallel(jobs, n_workers=2,
+                          trace_cache=tmp_path / "parallel")
+        parallel = self._delta(before, STATS)
+
+        # Each unique spec is generated exactly once either way; before
+        # the delta-shipping fix the parallel counter stayed at zero
+        # because the generations happened in (and died with) workers.
+        assert serial["generated"] == len(specs)
+        assert parallel["generated"] == serial["generated"]
+        # Workers load the warmed traces from the shared disk cache —
+        # those per-worker hits are visible to the parent now too.
+        assert parallel["disk_hits"] >= len(specs)
+
+
+class TestKeyboardInterruptShutdown:
+    def test_interrupt_skips_blocking_shutdown(self, monkeypatch):
+        """^C must not fall into ``shutdown(wait=True)`` afterwards.
+
+        The interrupt path already called ``shutdown(wait=False,
+        cancel_futures=True)``, but the ``finally`` block used to call
+        ``shutdown(wait=True)`` unconditionally — re-blocking on every
+        in-flight simulation and turning ^C on a long sweep into a
+        hang.  Interrupt mid-drain (the realistic window: jobs running
+        in workers, parent waiting) and assert no blocking shutdown
+        follows.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.harness import parallel
+
+        shutdowns = []
+        real_shutdown = ProcessPoolExecutor.shutdown
+
+        def spy(self, wait=True, cancel_futures=False):
+            shutdowns.append({"wait": wait,
+                              "cancel_futures": cancel_futures})
+            return real_shutdown(self, wait=wait,
+                                 cancel_futures=cancel_futures)
+
+        def interrupt(futures, progress, heartbeats):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(ProcessPoolExecutor, "shutdown", spy)
+        monkeypatch.setattr(parallel, "_drain", interrupt)
+        jobs = [
+            SimJob(config=MachineConfig.for_mode(mode),
+                   spec=_tiny_spec())
+            for mode in (ExecutionMode.TLS_SEQ, ExecutionMode.BASELINE)
+        ]
+        with pytest.raises(KeyboardInterrupt):
+            run_jobs_parallel(jobs, n_workers=2)
+        assert {"wait": False, "cancel_futures": True} in shutdowns
+        assert not any(call["wait"] for call in shutdowns)
+
+
+class TestResultMemoIdentity:
+    def test_memo_key_ignores_provenance_fields(self):
+        """Two ``==`` configs differing only in ``mode_label`` dedupe.
+
+        ``dataclasses.astuple`` included ``compare=False`` provenance
+        in the memo key, so renaming a mode split the cache and
+        re-simulated identical work.
+        """
+        spec = _tiny_spec()
+        config = MachineConfig.for_mode(ExecutionMode.BASELINE)
+        renamed = dataclasses.replace(config, mode_label="renamed")
+        assert config == renamed  # provenance is compare=False
+        runner = JobRunner()
+        results = runner.run([
+            SimJob(config=config, spec=spec),
+            SimJob(config=renamed, spec=spec),
+        ])
+        assert runner.dispatched == 1
+        assert results[0] is results[1]
+
+    def test_memo_key_respects_compared_fields(self):
+        spec = _tiny_spec()
+        config = MachineConfig.for_mode(ExecutionMode.BASELINE)
+        bigger = dataclasses.replace(config, n_cpus=config.n_cpus * 2)
+        runner = JobRunner()
+        runner.run([
+            SimJob(config=config, spec=spec),
+            SimJob(config=bigger, spec=spec),
+        ])
+        assert runner.dispatched == 2
