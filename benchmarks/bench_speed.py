@@ -9,14 +9,27 @@ performance trajectory is tracked across PRs:
 3. **Inner-loop throughput** — trace records simulated per second by a
    single ``Machine.run`` on a pre-generated TLS workload.
 4. **Speculative scenario** — the same workload under the Figure-5
-   TLS sub-thread (baseline) mode, timed three ways: journaled
-   speculative batches on (the default), batching restricted to
-   non-speculative epochs (``speculative_batches=False``), and fully
-   interpreted (``compile_traces=False``).  The three variants are
-   interleaved per repetition so thermal/frequency drift cannot skew
-   the ratios.  All three throughputs land in the trajectory entry;
-   ``--spec-min-vs-interpreted`` turns the compiled-vs-interpreted
-   ratio into a CI gate.
+   TLS sub-thread (baseline) mode, timed five ways: journaled
+   speculative batches with both columnar kernels on (the default),
+   the store kernel off, both columnar kernels off, batching
+   restricted to non-speculative epochs (``speculative_batches=
+   False``), and fully interpreted (``compile_traces=False``).  The
+   variants are interleaved per repetition so thermal/frequency drift
+   cannot skew the ratios.  All throughputs land in the trajectory
+   entry; ``--spec-min-vs-interpreted`` turns the compiled-vs-
+   interpreted ratio into a CI gate.
+5. **Compiled engine** — the inner-loop workload under the AOT-
+   compiled event loop vs the pure-Python reference, interleaved via
+   the ``REPRO_NO_COMPILED_ENGINE`` kill switch.  Skipped (and
+   recorded as such) when no ``[speed]`` build is importable;
+   ``--compiled-min-ratio`` turns the compiled-vs-pure ratio into a
+   CI gate.
+
+Every timed scenario reports best-of-N (the headline and gate input)
+plus the median and records/second stdev of the repetitions, and
+``--json`` echoes the whole perf document to stdout.  Trajectory
+appends are linted against the ``repro.obs.schema`` bench-trajectory
+schema before the script exits.
 
 Unlike the pytest-benchmark files next to it this is a plain script
 (it writes an artifact, not a benchmark table):
@@ -36,6 +49,7 @@ import json
 import os
 import pathlib
 import platform
+import statistics
 import sys
 import time
 
@@ -45,11 +59,17 @@ sys.path.insert(
 
 from repro.harness import ExperimentContext, JobRunner  # noqa: E402
 from repro.harness.export import result_to_dict  # noqa: E402
-from repro.obs import atomic_write_json, build_manifest, finish_manifest  # noqa: E402
+from repro.obs import (  # noqa: E402
+    atomic_write_json,
+    build_manifest,
+    finish_manifest,
+    lint_bench_trajectory,
+)
 from repro.harness.figure5 import run_figure5  # noqa: E402
 from repro.harness.figure6 import run_figure6  # noqa: E402
 from repro.harness.tracecache import TraceSpec, materialize, spec_key  # noqa: E402
-from repro.sim import ExecutionMode, Machine, MachineConfig  # noqa: E402
+from repro.sim import ExecutionMode, Machine, MachineConfig, engine_kind  # noqa: E402
+from repro.sim.engine import KILL_SWITCH  # noqa: E402
 from repro.tpcc import TPCCScale  # noqa: E402
 from repro.trace.events import (  # noqa: E402
     ParallelRegion,
@@ -102,12 +122,13 @@ def time_harness(args, jobs: int, spec_keys: set):
 
 def time_inner_loop(args, compile_traces: bool = True,
                     columnar: bool = True):
-    """Records/second of one Machine.run on a TLS workload.
+    """Per-repetition seconds of one Machine.run on a TLS workload.
 
     ``--warmup`` repetitions run first and are excluded from the
-    best-of: the first run pays one-time costs (trace compilation into
+    samples: the first run pays one-time costs (trace compilation into
     the process-wide memo, branch-predictor warm allocation) that are
-    not inner-loop throughput.
+    not inner-loop throughput.  Returns ``(records, samples)`` — use
+    :func:`summarize` for best/median/stdev.
     """
     trace = materialize(_bench_spec(args), cache_dir=None)
     records = count_records(trace)
@@ -116,13 +137,38 @@ def time_inner_loop(args, compile_traces: bool = True,
     )
     for _ in range(max(0, args.warmup)):
         Machine(config).run(trace)
-    best = float("inf")
+    samples = []
     for _ in range(max(1, args.repeat)):
         machine = Machine(config)
         t0 = time.perf_counter()
         machine.run(trace)
-        best = min(best, time.perf_counter() - t0)
-    return records, best
+        samples.append(time.perf_counter() - t0)
+    return records, samples
+
+
+def summarize(records: int, samples) -> dict:
+    """Best-of/median/stdev throughput summary of timing ``samples``.
+
+    Best-of-N stays the headline number (and the regression-gate
+    input): it is the least noise-contaminated estimate of the true
+    cost on a busy runner.  Median and the records/second stdev ride
+    along so the trajectory records how noisy each measurement was —
+    a regression with stdev near the delta is runner noise, one with
+    tight samples is real.
+    """
+    rps = [records / s for s in samples if s > 0]
+    best = min(samples)
+    return {
+        "seconds": round(best, 3),
+        "median_seconds": round(statistics.median(samples), 3),
+        "records_per_second": round(max(rps), 1) if rps else 0.0,
+        "median_records_per_second": round(
+            statistics.median(rps), 1
+        ) if rps else 0.0,
+        "stdev_records_per_second": round(
+            statistics.pstdev(rps), 1
+        ) if rps else 0.0,
+    }
 
 
 def _bench_spec(args) -> TraceSpec:
@@ -136,40 +182,88 @@ def _bench_spec(args) -> TraceSpec:
 
 
 def time_speculative_scenario(args):
-    """Figure-5 TLS sub-thread (baseline) mode, four ways.
+    """Figure-5 TLS sub-thread (baseline) mode, five ways.
 
-    Returns ``(records, best)`` where ``best`` maps ``spec_on`` (the
-    default: journaled batches + columnar bulk loads), ``columnar_off``
-    (batches without the columnar resolver), ``spec_off`` (batching
-    restricted to non-speculative epochs), and ``interpreted`` to
-    best-of-``--repeat`` seconds.  One Machine per timing (compile
-    caches are process-wide, so compilation cost is amortized exactly
-    as in the harness); the variants run interleaved inside each
-    repetition so slow drift of the host clock speed hits all equally,
-    and ``--warmup`` interleaved repetitions are discarded first.
+    Returns ``(records, samples)`` where ``samples`` maps ``spec_on``
+    (the default: journaled batches + columnar bulk loads and stores),
+    ``columnar_stores_off`` (bulk loads without the store kernel),
+    ``columnar_off`` (batches without either columnar resolver),
+    ``spec_off`` (batching restricted to non-speculative epochs), and
+    ``interpreted`` to per-repetition seconds lists.  One Machine per
+    timing (compile caches are process-wide, so compilation cost is
+    amortized exactly as in the harness); the variants run interleaved
+    inside each repetition so slow drift of the host clock speed hits
+    all equally, and ``--warmup`` interleaved repetitions are
+    discarded first.
     """
     trace = materialize(_bench_spec(args), cache_dir=None)
     records = count_records(trace)
     base = MachineConfig.for_mode(ExecutionMode.BASELINE)
     if args.no_columnar:
         base = dataclasses.replace(base, columnar=False)
+    if args.no_columnar_stores:
+        base = dataclasses.replace(base, columnar_stores=False)
     variants = {
         "spec_on": base,
-        "columnar_off": dataclasses.replace(base, columnar=False),
+        "columnar_stores_off": dataclasses.replace(
+            base, columnar_stores=False
+        ),
+        "columnar_off": dataclasses.replace(
+            base, columnar=False, columnar_stores=False
+        ),
         "spec_off": dataclasses.replace(base, speculative_batches=False),
         "interpreted": dataclasses.replace(base, compile_traces=False),
     }
     for _ in range(max(0, args.warmup)):
         for config in variants.values():
             Machine(config).run(trace)
-    best = {name: float("inf") for name in variants}
+    samples = {name: [] for name in variants}
     for _ in range(max(1, args.repeat)):
         for name, config in variants.items():
             machine = Machine(config)
             t0 = time.perf_counter()
             machine.run(trace)
-            best[name] = min(best[name], time.perf_counter() - t0)
-    return records, best
+            samples[name].append(time.perf_counter() - t0)
+    return records, samples
+
+
+def time_compiled_engine(args):
+    """Inner-loop workload under the compiled vs the pure event loop.
+
+    Selection happens per Machine construction, so flipping the kill
+    switch between repetitions times both engines on the same trace
+    in the same process, interleaved like the speculative scenario.
+    Returns ``(records, samples)`` with ``compiled`` / ``pure`` sample
+    lists, or None when no compiled twin is importable (source
+    checkouts without the ``[speed]`` build — the common case outside
+    CI).
+    """
+    if engine_kind() == "pure":
+        return None
+    trace = materialize(_bench_spec(args), cache_dir=None)
+    records = count_records(trace)
+    config = MachineConfig()
+
+    def run_one(forced_pure: bool) -> float:
+        if forced_pure:
+            os.environ[KILL_SWITCH] = "1"
+        try:
+            machine = Machine(config)
+        finally:
+            if forced_pure:
+                del os.environ[KILL_SWITCH]
+        t0 = time.perf_counter()
+        machine.run(trace)
+        return time.perf_counter() - t0
+
+    for _ in range(max(0, args.warmup)):
+        run_one(False)
+        run_one(True)
+    samples = {"compiled": [], "pure": []}
+    for _ in range(max(1, args.repeat)):
+        samples["compiled"].append(run_one(False))
+        samples["pure"].append(run_one(True))
+    return records, samples
 
 
 def runner_class() -> str:
@@ -229,6 +323,15 @@ def append_trajectory(path: pathlib.Path, entries, min_ratio: float) -> int:
         history.append(entry)
     atomic_write_json(path, history)
     print(f"appended to {path} ({len(history)} entries)")
+    issues = lint_bench_trajectory(path)
+    if issues:
+        print(
+            f"ERROR: {path} fails the bench-trajectory schema lint:",
+            file=sys.stderr,
+        )
+        for issue in issues[:20]:
+            print(f"  {issue}", file=sys.stderr)
+        status = 1
     return status
 
 
@@ -260,6 +363,17 @@ def main(argv=None) -> int:
               "spec_on with columnar off too)"),
     )
     parser.add_argument(
+        "--no-columnar-stores", action="store_true",
+        help=("disable the columnar bulk store resolver in the timed "
+              "configurations"),
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help=("print the full perf document as JSON to stdout after "
+              "the human-readable summary (machine-readable output "
+              "for tooling that does not want to read --out)"),
+    )
+    parser.add_argument(
         "--out", type=pathlib.Path,
         default=pathlib.Path(__file__).resolve().parent.parent
         / "results" / "perf.json",
@@ -283,7 +397,21 @@ def main(argv=None) -> int:
               "throughput measured in the same run (CI gate; off by "
               "default)"),
     )
+    parser.add_argument(
+        "--compiled-min-ratio", type=float, default=None,
+        metavar="RATIO",
+        help=("fail unless the compiled event loop is at least RATIO "
+              "times the pure-Python loop measured in the same run; "
+              "also fails if no compiled twin is importable (CI gate "
+              "for the [speed] build; off by default)"),
+    )
     args = parser.parse_args(argv)
+
+    real_stdout = sys.stdout
+    if args.json:
+        # All human-readable progress moves to stderr so stdout
+        # carries exactly one JSON document.
+        sys.stdout = sys.stderr
 
     n_cpus = os.cpu_count() or 1
     jobs = args.jobs if args.jobs > 0 else n_cpus
@@ -300,6 +428,7 @@ def main(argv=None) -> int:
             "warmup": args.warmup,
             "compile_traces": not args.no_compile_traces,
             "columnar": not args.no_columnar,
+            "columnar_stores": not args.no_columnar_stores,
         },
         seed=args.seed,
     )
@@ -345,36 +474,45 @@ def main(argv=None) -> int:
     print("timing simulator inner loop (compiled traces) ..."
           if not args.no_compile_traces
           else "timing simulator inner loop (interpreted) ...")
-    records, inner_s = time_inner_loop(
+    records, inner_samples = time_inner_loop(
         args, compile_traces=not args.no_compile_traces,
         columnar=not args.no_columnar,
     )
-    records_per_s = records / inner_s if inner_s > 0 else 0.0
-    print(f"  {records} records in {inner_s:.2f}s "
-          f"({records_per_s:,.0f} records/s)")
+    inner = summarize(records, inner_samples)
+    records_per_s = inner["records_per_second"]
+    print(f"  {records} records in {inner['seconds']:.2f}s "
+          f"({records_per_s:,.0f} records/s, median "
+          f"{inner['median_records_per_second']:,.0f} "
+          f"± {inner['stdev_records_per_second']:,.0f})")
 
-    inner_loop = {
-        "records": records,
-        "seconds": round(inner_s, 3),
-        "records_per_second": round(records_per_s, 1),
-        "compile_traces": not args.no_compile_traces,
-        "columnar": not args.no_columnar,
-    }
+    inner_loop = dict(inner)
+    inner_loop["records"] = records
+    inner_loop["compile_traces"] = not args.no_compile_traces
+    inner_loop["columnar"] = not args.no_columnar
     if not args.no_compile_traces:
         print("timing simulator inner loop (interpreted, for reference) ...")
-        records_i, interp_s = time_inner_loop(args, compile_traces=False)
-        interp_rps = records_i / interp_s if interp_s > 0 else 0.0
-        print(f"  {records_i} records in {interp_s:.2f}s "
-              f"({interp_rps:,.0f} records/s)")
-        inner_loop["interpreted_seconds"] = round(interp_s, 3)
-        inner_loop["interpreted_records_per_second"] = round(interp_rps, 1)
+        records_i, interp_samples = time_inner_loop(
+            args, compile_traces=False
+        )
+        interp = summarize(records_i, interp_samples)
+        print(f"  {records_i} records in {interp['seconds']:.2f}s "
+              f"({interp['records_per_second']:,.0f} records/s)")
+        inner_loop["interpreted_seconds"] = interp["seconds"]
+        inner_loop["interpreted_records_per_second"] = (
+            interp["records_per_second"]
+        )
 
     print("timing speculative scenario (TLS sub-thread mode, "
-          "columnar on / off, batches off, interpreted) ...")
-    spec_records, spec_times = time_speculative_scenario(args)
+          "columnar on / stores off / off, batches off, "
+          "interpreted) ...")
+    spec_records, spec_samples = time_speculative_scenario(args)
+    spec = {
+        name: summarize(spec_records, samples)
+        for name, samples in spec_samples.items()
+    }
     spec_rps = {
-        name: spec_records / s if s > 0 else 0.0
-        for name, s in spec_times.items()
+        name: summary["records_per_second"]
+        for name, summary in spec.items()
     }
     ratio_vs_off = (
         spec_rps["spec_on"] / spec_rps["spec_off"]
@@ -388,30 +526,39 @@ def main(argv=None) -> int:
         spec_rps["spec_on"] / spec_rps["columnar_off"]
         if spec_rps["columnar_off"] else None
     )
-    for name in ("spec_on", "columnar_off", "spec_off", "interpreted"):
-        print(f"  {name:<12} {spec_records} records in "
-              f"{spec_times[name]:.2f}s ({spec_rps[name]:,.0f} records/s)")
-    print(f"  on/columnar_off {ratio_vs_columnar_off:.2f}x   "
+    ratio_vs_stores_off = (
+        spec_rps["spec_on"] / spec_rps["columnar_stores_off"]
+        if spec_rps["columnar_stores_off"] else None
+    )
+    for name in ("spec_on", "columnar_stores_off", "columnar_off",
+                 "spec_off", "interpreted"):
+        print(f"  {name:<19} {spec_records} records in "
+              f"{spec[name]['seconds']:.2f}s "
+              f"({spec_rps[name]:,.0f} records/s, median "
+              f"{spec[name]['median_records_per_second']:,.0f} "
+              f"± {spec[name]['stdev_records_per_second']:,.0f})")
+    print(f"  on/stores_off {ratio_vs_stores_off:.2f}x   "
+          f"on/columnar_off {ratio_vs_columnar_off:.2f}x   "
           f"on/off {ratio_vs_off:.2f}x   on/interpreted "
           f"{ratio_vs_interp:.2f}x")
-    speculative = {
-        "mode": ExecutionMode.BASELINE,
-        "records": spec_records,
-        "records_per_second": round(spec_rps["spec_on"], 1),
-        "columnar_off_records_per_second": round(
-            spec_rps["columnar_off"], 1
-        ),
-        "spec_off_records_per_second": round(spec_rps["spec_off"], 1),
-        "interpreted_records_per_second": round(
-            spec_rps["interpreted"], 1
-        ),
+    speculative = dict(spec["spec_on"])
+    speculative["mode"] = ExecutionMode.BASELINE
+    speculative["records"] = spec_records
+    speculative.update({
+        "columnar_stores_off_records_per_second":
+            spec_rps["columnar_stores_off"],
+        "columnar_off_records_per_second": spec_rps["columnar_off"],
+        "spec_off_records_per_second": spec_rps["spec_off"],
+        "interpreted_records_per_second": spec_rps["interpreted"],
+        "ratio_vs_columnar_stores_off": round(ratio_vs_stores_off, 3)
+        if ratio_vs_stores_off else None,
         "ratio_vs_columnar_off": round(ratio_vs_columnar_off, 3)
         if ratio_vs_columnar_off else None,
         "ratio_vs_spec_off": round(ratio_vs_off, 3)
         if ratio_vs_off else None,
         "ratio_vs_interpreted": round(ratio_vs_interp, 3)
         if ratio_vs_interp else None,
-    }
+    })
     spec_gate_ok = True
     if args.spec_min_vs_interpreted is not None:
         if (ratio_vs_interp or 0.0) < args.spec_min_vs_interpreted:
@@ -423,6 +570,55 @@ def main(argv=None) -> int:
             )
             spec_gate_ok = False
 
+    engine_gate_ok = True
+    compiled_result = time_compiled_engine(args)
+    if compiled_result is None:
+        # No [speed] build in this interpreter: record the skip the
+        # same way the single-core harness comparison does instead of
+        # timing the pure loop against itself.
+        print("no compiled engine module: skipping compiled-engine "
+              "scenario")
+        compiled_engine = {"comparison": "skipped_no_compiled_module"}
+        if args.compiled_min_ratio is not None:
+            print(
+                "ERROR: --compiled-min-ratio given but no compiled "
+                "engine twin is importable (build with "
+                "REPRO_SPEED=1 pip install -e .[speed])",
+                file=sys.stderr,
+            )
+            engine_gate_ok = False
+    else:
+        print("timing compiled vs pure event loop ...")
+        eng_records, eng_samples = compiled_result
+        compiled = summarize(eng_records, eng_samples["compiled"])
+        pure = summarize(eng_records, eng_samples["pure"])
+        ratio_vs_pure = (
+            compiled["records_per_second"] / pure["records_per_second"]
+            if pure["records_per_second"] else None
+        )
+        for name, summary in (("compiled", compiled), ("pure", pure)):
+            print(f"  {name:<9} {eng_records} records in "
+                  f"{summary['seconds']:.2f}s "
+                  f"({summary['records_per_second']:,.0f} records/s)")
+        print(f"  compiled/pure {ratio_vs_pure:.2f}x")
+        compiled_engine = dict(compiled)
+        compiled_engine["records"] = eng_records
+        compiled_engine["pure_records_per_second"] = (
+            pure["records_per_second"]
+        )
+        compiled_engine["ratio_vs_pure"] = (
+            round(ratio_vs_pure, 3) if ratio_vs_pure else None
+        )
+        if args.compiled_min_ratio is not None:
+            if (ratio_vs_pure or 0.0) < args.compiled_min_ratio:
+                print(
+                    f"ERROR: compiled event loop is only "
+                    f"{ratio_vs_pure:.2f}x the pure-Python loop "
+                    f"(threshold {args.compiled_min_ratio}x)",
+                    file=sys.stderr,
+                )
+                engine_gate_ok = False
+
     perf = {
         "config": {
             "transactions": args.transactions,
@@ -431,10 +627,12 @@ def main(argv=None) -> int:
             "jobs": jobs,
             "cpu_count": n_cpus,
             "python": platform.python_version(),
+            "engine": engine_kind(),
         },
         "harness": harness,
         "inner_loop": inner_loop,
         "speculative_scenario": speculative,
+        "compiled_engine": compiled_engine,
         "manifest": finish_manifest(
             manifest, time.perf_counter() - bench_t0,
             trace_spec_keys=sorted(spec_keys),
@@ -442,8 +640,13 @@ def main(argv=None) -> int:
     }
     atomic_write_json(args.out, perf)
     print(f"wrote {args.out}")
+    if args.json:
+        print(
+            json.dumps(perf, indent=1, sort_keys=True),
+            file=real_stdout,
+        )
 
-    status = 0 if (identical and spec_gate_ok) else 1
+    status = 0 if (identical and spec_gate_ok and engine_gate_ok) else 1
     if args.trajectory is not None:
         final_manifest = finish_manifest(
             manifest, time.perf_counter() - bench_t0,
@@ -455,7 +658,11 @@ def main(argv=None) -> int:
                 "runner": runner_class(),
                 "scale": perf["config"]["scale"],
                 "records": records,
-                "records_per_second": round(records_per_s, 1),
+                "records_per_second": records_per_s,
+                "median_records_per_second":
+                    inner["median_records_per_second"],
+                "stdev_records_per_second":
+                    inner["stdev_records_per_second"],
                 "compile_traces": not args.no_compile_traces,
                 "columnar": not args.no_columnar,
                 "python": platform.python_version(),
@@ -468,12 +675,20 @@ def main(argv=None) -> int:
                 "mode": ExecutionMode.BASELINE,
                 "records": spec_records,
                 "records_per_second": speculative["records_per_second"],
+                "median_records_per_second":
+                    speculative["median_records_per_second"],
+                "stdev_records_per_second":
+                    speculative["stdev_records_per_second"],
+                "columnar_stores_off_records_per_second":
+                    speculative["columnar_stores_off_records_per_second"],
                 "columnar_off_records_per_second":
                     speculative["columnar_off_records_per_second"],
                 "spec_off_records_per_second":
                     speculative["spec_off_records_per_second"],
                 "interpreted_records_per_second":
                     speculative["interpreted_records_per_second"],
+                "ratio_vs_columnar_stores_off":
+                    speculative["ratio_vs_columnar_stores_off"],
                 "ratio_vs_columnar_off":
                     speculative["ratio_vs_columnar_off"],
                 "ratio_vs_spec_off": speculative["ratio_vs_spec_off"],
@@ -483,6 +698,24 @@ def main(argv=None) -> int:
                 "manifest": final_manifest,
             },
         ]
+        if "records" in compiled_engine:
+            entries.append({
+                "scenario": "compiled_engine",
+                "runner": runner_class(),
+                "scale": perf["config"]["scale"],
+                "records": compiled_engine["records"],
+                "records_per_second":
+                    compiled_engine["records_per_second"],
+                "median_records_per_second":
+                    compiled_engine["median_records_per_second"],
+                "stdev_records_per_second":
+                    compiled_engine["stdev_records_per_second"],
+                "pure_records_per_second":
+                    compiled_engine["pure_records_per_second"],
+                "ratio_vs_pure": compiled_engine["ratio_vs_pure"],
+                "python": platform.python_version(),
+                "manifest": final_manifest,
+            })
         status = max(
             status,
             append_trajectory(args.trajectory, entries, args.min_ratio),

@@ -266,6 +266,27 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--no-columnar-stores",
+        action="store_true",
+        help=(
+            "disable the columnar bulk store resolver (repro.memory."
+            "columnar) and dispatch every compiled store through the "
+            "scalar reference path; escape hatch — results are "
+            "byte-identical either way"
+        ),
+    )
+    parser.add_argument(
+        "--profile-out",
+        type=pathlib.Path,
+        default=None,
+        metavar="PSTATS",
+        help=(
+            "profile the experiment phase under cProfile and write the "
+            "pstats dump to this file (inspect with python -m pstats); "
+            "forces --jobs 1 semantics for the profiled work in-process"
+        ),
+    )
+    parser.add_argument(
         "--trace-out",
         type=pathlib.Path,
         default=None,
@@ -360,13 +381,22 @@ def main(argv=None) -> int:
         overrides["compile_traces"] = False
     if args.no_columnar:
         overrides["columnar"] = False
+    if args.no_columnar_stores:
+        overrides["columnar_stores"] = False
     result_store = None
     if args.result_store is not None:
         from ..service.store import ResultStore
 
         result_store = ResultStore(args.result_store)
+    n_jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    if args.profile_out is not None and n_jobs > 1:
+        # Worker processes would not appear in the parent's profile;
+        # keep the profiled simulation work in this interpreter.
+        print("[--profile-out: running in-process, --jobs forced to 1]",
+              flush=True)
+        n_jobs = 1
     runner = JobRunner(
-        jobs=args.jobs if args.jobs > 0 else (os.cpu_count() or 1),
+        jobs=n_jobs,
         trace_cache=cache_dir,
         config_overrides=overrides or None,
         progress=args.progress,
@@ -491,6 +521,7 @@ def main(argv=None) -> int:
         "jobs": runner.jobs,
         "compile_traces": not args.no_compile_traces,
         "columnar": not args.no_columnar,
+        "columnar_stores": not args.no_columnar_stores,
         "check_invariants": args.check_invariants,
     }
     if result_store is not None:
@@ -516,16 +547,27 @@ def main(argv=None) -> int:
     if args.trace_out is not None:
         tracer = SpanTracer(args.trace_out, manifest=manifest)
         runner.tracer = tracer
+    profiler = None
+    if args.profile_out is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
     run_t0 = time.perf_counter()
     try:
         for name in wanted:
             print(f"\n### {name} ###", flush=True)
             t0 = time.perf_counter()
-            if tracer is not None:
-                with tracer.span(f"experiment.{name}"):
+            if profiler is not None:
+                profiler.enable()
+            try:
+                if tracer is not None:
+                    with tracer.span(f"experiment.{name}"):
+                        result, text, artifact = experiment_results(name)
+                else:
                     result, text, artifact = experiment_results(name)
-            else:
-                result, text, artifact = experiment_results(name)
+            finally:
+                if profiler is not None:
+                    profiler.disable()
             elapsed = time.perf_counter() - t0
             print(text)
             # Results may attach a named manifest section (the sampled
@@ -581,6 +623,12 @@ def main(argv=None) -> int:
                 flush=True,
             )
     finally:
+        if profiler is not None:
+            # Even a partial run leaves a usable dump: inspect with
+            # python -m pstats, or snakeviz where available.
+            args.profile_out.parent.mkdir(parents=True, exist_ok=True)
+            profiler.dump_stats(str(args.profile_out))
+            print(f"[profile written to {args.profile_out}]", flush=True)
         if tracer is not None:
             from .tracecache import STATS as trace_cache_stats
 

@@ -7,17 +7,19 @@ sub-thread checkpoint tests, the heap chain test, and the per-line tuple
 walk.  At the measured event rates that toll is roughly half the cost of
 the access.
 
-This module removes it for the one access class where doing so is
+This module removes it for the two access classes where doing so is
 provably invisible.  At compile time (:func:`build_block`, called from
 ``repro.trace.compile``) each maximal run of consecutive single-line
-LOAD records is lowered into a *columnar block*: the per-record interned
-``(line, sub_addr, word_mask, load_bits, private)`` tuples transposed
-into parallel ``lines`` / ``word_masks`` columns (a numpy structured
-array is attached for long runs when numpy is importable; the plain
-tuples are the always-present pure-Python form, so numpy stays an
-optional dependency).  At dispatch time (:func:`resolve_loads`) the
-machine hands the block to one call that scans the run's *bulk-eligible
-prefix* and applies its effects in one pass:
+LOAD records — and, separately, each run of consecutive single-line
+*private* STORE records — is lowered into a *columnar block*: the
+per-record interned ``(line, sub_addr, word_mask, load_bits, private)``
+tuples transposed into parallel ``lines`` / ``word_masks`` columns (a
+numpy structured array is attached for long runs when numpy is
+importable; the plain tuples are the always-present pure-Python form,
+so numpy stays an optional dependency).  At dispatch time
+(:func:`resolve_loads` / :func:`resolve_stores`) the machine hands the
+block to one call that scans the run's *bulk-eligible prefix* and
+applies its effects in one pass:
 
 * a load is bulk-eligible when its line is **L1-resident** and — for a
   speculative epoch — the L1 line is already ``notified`` (the L2 holds
@@ -27,18 +29,32 @@ prefix* and applies its effects in one pass:
   effect is one L1 hit plus an LRU touch, both applied here in access
   order, so resolving ``m`` of them in bulk is byte-identical to ``m``
   interpreted steps;
-* the first access that misses this test ends the prefix — misses,
-  exposed loads, and everything needing the event-driven protocol
-  (violation scans, version selection, victim-cache traffic) remain the
-  *scalar residue*, dispatched by the reference path in
-  ``sim/machine.py`` / ``memory/l2.py`` exactly as before.
+* a store is bulk-eligible when its line is **region-private** (the
+  compiler only forms store runs from private lines, so a store can
+  never raise a violation or wake a synchronized load), **resident in
+  the storing CPU's L1 and no other L1** (no fill, no cross-L1
+  invalidate walk), and the L2's per-line version index already holds
+  a **non-victim version owned by the storing epoch** (speculative) or
+  a committed version (non-speculative) — no install, no eviction, no
+  overflow.  Such a store's complete architectural effect is the word-
+  mask bookkeeping, an L2 hit with an MRU promote, one bank
+  reservation, and an L1 LRU touch with speculative marking — all
+  applied here in access order (:func:`resolve_stores`);
+* the first access that misses these tests ends the prefix — misses,
+  exposed loads, version installs, shared-line stores, and everything
+  needing the event-driven protocol (violation scans, version
+  selection, victim-cache traffic) remain the *scalar residue*,
+  dispatched by the reference path in ``sim/machine.py`` /
+  ``memory/l2.py`` exactly as before.
 
 Eligibility is tested against the caches' *columnar tag mirrors* — the
-L1's ``resident`` / ``_notified_tags`` tag sets and (indirectly, by
-keeping loads that would need it out of the bulk set) the L2's
-per-line version index — which ``memory/l1.py`` / ``memory/l2.py``
-maintain transactionally at every fill/evict/squash/commit, so a squash
-landing between bulk batches always observes an exact mirror.
+L1's ``resident`` / ``_notified_tags`` tag sets and the L2's per-line
+version index (``_line_versions``; loads use it indirectly by keeping
+accesses that would need it out of the bulk set, stores scan it
+directly for the epoch-owned version) — which ``memory/l1.py`` /
+``memory/l2.py`` maintain transactionally at every
+fill/evict/squash/commit, so a squash landing between bulk batches
+always observes an exact mirror.
 
 The caller bounds the scan (``max_n``) so that every access the bulk
 pass commits would also have been admitted by the machine's chain
@@ -170,5 +186,178 @@ def resolve_loads(
         if order_l[-1] != line:
             order_l.remove(line)
             order_l.append(line)
+        i += 1
+    return i - off
+
+
+def _store_target(line_versions: dict, line: int, want: int):
+    """The L2 version a bulk store would hit, or None (ineligible).
+
+    Mirrors ``SpeculativeL2.store_line``'s version-index scan: the entry
+    owned by ``want`` (the storing epoch's order, or COMMITTED for
+    non-speculative epochs).  A victim-cache resident target is treated
+    as ineligible — promoting it back into the set can evict, which is
+    event-protocol work the bulk pass must not do.
+    """
+    versions = line_versions.get(line)
+    if not versions:
+        return None
+    for entry in versions:
+        if entry.owner == want:
+            if entry.in_victim:
+                return None
+            return entry
+    return None
+
+
+def resolve_stores(
+    block: Block,
+    off: int,
+    max_n: int,
+    resident: set,
+    other_resident: tuple,
+    line_versions: dict,
+    want: int,
+    l2_sets: dict,
+    l2_set_shift: int,
+    l2_set_mask: int,
+    l1_sets: dict,
+    set_shift: int,
+    set_mask: int,
+    sm: Optional[dict],
+    su: Optional[dict],
+    ctx: Optional[int],
+    subidx: int,
+    ctx_lines: Optional[dict],
+    spec_tags: Optional[set],
+    banks_reserve,
+    now: float,
+) -> int:
+    """Resolve the bulk-eligible prefix of a store run; returns its length.
+
+    Scans ``block`` from ``off`` for at most ``max_n`` accesses and, for
+    each eligible one *in access order*, applies its complete
+    architectural effect, byte-identical to the scalar chained-dispatch
+    store arm it replaces (every line here is region-private, so the
+    violation scan, the synchronized-load wakeup, and the cross-L1
+    invalidate walk are all provably no-ops for eligible accesses):
+
+    * the sub-thread store mask and the epoch store-mask union OR in the
+      access's word mask (speculative epochs only);
+    * the L2 hit's MRU promote of the epoch-owned version, plus the
+      version's ``spec_mod`` mask (speculative) or dirty bit
+      (non-speculative) — ``store_line``'s hit path with the ``hits``
+      counter applied in aggregate by the caller;
+    * one bank reservation per store at its own cycle (write-through
+      stores reserve bandwidth without waiting: store *k* of the prefix
+      issues at ``now + k``);
+    * the storing CPU's L1 LRU touch and, for speculative epochs, the
+      line's speculative marking (``spec`` flag, sub-thread index
+      high-water mark, ``_spec_tags`` mirror).
+
+    The first access whose line is not resident in the storing L1, is
+    resident in another CPU's L1, or has no in-set version owned by
+    ``want`` ends the prefix; that access and everything after it are
+    left for the scalar reference path.  The caller applies the
+    aggregate counters (L2 hits, instruction/cycle accounting,
+    private-store tally) from the returned count.
+
+    ``sm``/``su``/``ctx``/``spec_tags`` are None (and ``subidx`` -1)
+    for non-speculative epochs, where ``want`` is the committed owner.
+    """
+    lines, wmasks, arr = block
+    end = off + max_n
+    i = off
+    # Vectorized pre-screen for long spans, mirroring resolve_loads: one
+    # pass finds the prefix whose lines pass every per-line eligibility
+    # test (the tests are mask-independent, so unlike loads the
+    # pre-screen here is exact, not an under-approximation — but a
+    # shorter prefix would still merely mean less bulk, never an error).
+    fast_until = off
+    if arr is not None and max_n >= NUMPY_MIN_SPAN:
+        seg = arr["line"][off:end]
+        ok = []
+        for u in _np.unique(seg).tolist():
+            if u not in resident:
+                continue
+            if any(u in other for other in other_resident):
+                continue
+            if _store_target(line_versions, u, want) is None:
+                continue
+            ok.append(u)
+        if ok:
+            elig = _np.isin(
+                seg, _np.fromiter(ok, dtype=seg.dtype, count=len(ok))
+            )
+            if elig.all():
+                fast_until = end
+            else:
+                fast_until = off + int(_np.argmin(elig))
+    # Per-line targets resolved once per call: nothing a bulk store does
+    # changes any eligibility input (LRU touches keep residency, the MRU
+    # promote keeps the version in-set), so a line eligible once stays
+    # eligible for every repeat store in the same prefix.
+    targets: dict = {}
+    ctx_set = None
+    while i < end:
+        line = lines[i]
+        target = targets.get(line)
+        if target is None:
+            if i >= fast_until:
+                if line not in resident:
+                    break
+                blocked = False
+                for other in other_resident:
+                    if line in other:
+                        blocked = True
+                        break
+                if blocked:
+                    break
+            target = _store_target(line_versions, line, want)
+            if target is None:
+                break
+            targets[line] = target
+        words = wmasks[i]
+        if sm is not None:
+            sm[line] = sm.get(line, 0) | words
+            su[line] = su.get(line, 0) | words
+        # store_line's in-set MRU promote, inlined (in_victim targets
+        # are excluded by eligibility).
+        sentries = l2_sets[
+            (line >> l2_set_shift) & l2_set_mask
+        ]._entries
+        if sentries[-1] is not target:
+            for si, se in enumerate(sentries):
+                if se is target:
+                    del sentries[si]
+                    break
+            sentries.append(target)
+        if ctx is None:
+            target.dirty = True
+        else:
+            target.spec_mod[ctx] = target.spec_mod.get(ctx, 0) | words
+            # _note_ctx_line, inlined; the per-ctx set is resolved once.
+            if ctx_set is None:
+                ctx_set = ctx_lines.get(ctx)
+                if ctx_set is None:
+                    ctx_lines[ctx] = ctx_set = set()
+            ctx_set.add(line)
+        # Write-through bandwidth: store k of the prefix issues at its
+        # own cycle now + k, exactly as the scalar path's per-record
+        # reservations would.
+        banks_reserve(line, now + (i - off))
+        # l1.fill on a resident line, inlined: LRU touch plus
+        # speculative marking.
+        cset = l1_sets[(line >> set_shift) & set_mask]
+        order_l = cset._order
+        if order_l[-1] != line:
+            order_l.remove(line)
+            order_l.append(line)
+        if ctx is not None:
+            lobj = cset._by_tag[line]
+            lobj.spec = True
+            if subidx > lobj.subidx:
+                lobj.subidx = subidx
+            spec_tags.add(line)
         i += 1
     return i - off

@@ -44,12 +44,15 @@ from .report import render_report
 from .schema import (
     JOURNAL_EVENTS,
     JOURNAL_TYPES,
+    REQUIRED_BENCH_ENTRY_KEYS,
     REQUIRED_MANIFEST_KEYS,
     RunLogError,
+    assert_valid_bench_trajectory,
     assert_valid_journal,
     assert_valid_predictor_block,
     assert_valid_run_log,
     assert_valid_sampler_block,
+    lint_bench_trajectory,
     lint_journal,
     lint_predictor_block,
     lint_run_log,
@@ -65,9 +68,11 @@ __all__ = [
     "MetricsRegistry",
     "ProgressReporter",
     "RECORD_TYPES",
+    "REQUIRED_BENCH_ENTRY_KEYS",
     "REQUIRED_MANIFEST_KEYS",
     "RunLogError",
     "SpanTracer",
+    "assert_valid_bench_trajectory",
     "assert_valid_journal",
     "assert_valid_predictor_block",
     "assert_valid_run_log",
@@ -80,6 +85,7 @@ __all__ = [
     "finish_manifest",
     "format_eta",
     "git_sha",
+    "lint_bench_trajectory",
     "lint_journal",
     "lint_predictor_block",
     "lint_run_log",

@@ -474,3 +474,115 @@ def assert_valid_run_log(path, max_shown: int = 20) -> None:
         if len(issues) > len(shown):
             text += f"\n  ... and {len(issues) - len(shown)} more"
         raise RunLogError(text)
+
+
+#: Keys every bench-trajectory entry must carry (``manifest`` must also
+#: be *present* — None only for entries predating manifest capture).
+REQUIRED_BENCH_ENTRY_KEYS = (
+    "runner",
+    "scale",
+    "scenario",
+    "python",
+    "records",
+    "records_per_second",
+)
+
+
+def lint_bench_trajectory(path) -> List[str]:
+    """Structurally lint a ``BENCH_speed.json`` throughput trajectory.
+
+    The trajectory is append-only and cross-run: every perf-smoke run
+    appends one entry per scenario and gates on the ratio to the
+    previous same-(runner, scale, scenario) entry, so a malformed entry
+    silently disables the regression gate for every future run on that
+    runner class.  The lint checks what that gate depends on:
+
+    1. the file is a JSON array of objects;
+    2. every entry carries string ``runner`` / ``scale`` / ``scenario``
+       / ``python`` and finite ``records`` / ``records_per_second``
+       (records positive — a zero-record timing is a harness bug);
+    3. every entry has a ``manifest`` key — a dict carrying the
+       :data:`REQUIRED_MANIFEST_KEYS`, or None for entries written
+       before manifests were captured (grandfathered, never new);
+    4. optional ``ratio_to_previous`` / ``median_records_per_second``
+       / ``stdev_records_per_second`` values are finite and
+       non-negative (the ratio strictly positive).
+    """
+    issues: List[str] = []
+    try:
+        with open(path, encoding="utf-8") as fh:
+            entries = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable trajectory: {exc}"]
+    if not isinstance(entries, list):
+        return ["trajectory is not a JSON array"]
+    if not entries:
+        issues.append("trajectory is empty")
+    for idx, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            issues.append(f"entry {idx}: not an object")
+            continue
+        for key in ("runner", "scale", "scenario", "python"):
+            value = entry.get(key)
+            if not isinstance(value, str) or not value:
+                issues.append(
+                    f"entry {idx}: {key} must be a non-empty string, "
+                    f"got {value!r}"
+                )
+        records = entry.get("records")
+        if not _is_number(records) or records <= 0:
+            issues.append(
+                f"entry {idx}: records must be a positive number, "
+                f"got {records!r}"
+            )
+        rps = entry.get("records_per_second")
+        if not _is_number(rps) or rps <= 0:
+            issues.append(
+                f"entry {idx}: records_per_second must be a positive "
+                f"number, got {rps!r}"
+            )
+        if "manifest" not in entry:
+            issues.append(f"entry {idx}: missing manifest key")
+        else:
+            manifest = entry["manifest"]
+            if isinstance(manifest, dict):
+                for key in REQUIRED_MANIFEST_KEYS:
+                    if key not in manifest:
+                        issues.append(
+                            f"entry {idx}: manifest missing key "
+                            f"{key!r}"
+                        )
+            elif manifest is not None:
+                issues.append(
+                    f"entry {idx}: manifest must be an object or "
+                    f"None, got {type(manifest).__name__}"
+                )
+        ratio = entry.get("ratio_to_previous")
+        if ratio is not None and (not _is_number(ratio) or ratio <= 0):
+            issues.append(
+                f"entry {idx}: ratio_to_previous must be a finite "
+                f"positive number, got {ratio!r}"
+            )
+        for key in ("median_records_per_second",
+                    "stdev_records_per_second"):
+            value = entry.get(key)
+            if value is not None and (
+                not _is_number(value) or value < 0
+            ):
+                issues.append(
+                    f"entry {idx}: {key} must be a finite non-negative "
+                    f"number, got {value!r}"
+                )
+    return issues
+
+
+def assert_valid_bench_trajectory(path, max_shown: int = 20) -> None:
+    """Lint a bench trajectory; raise :class:`RunLogError` on issues."""
+    issues = lint_bench_trajectory(path)
+    if issues:
+        shown = issues[:max_shown]
+        text = f"{len(issues)} bench trajectory issue(s):\n  " + \
+            "\n  ".join(shown)
+        if len(issues) > len(shown):
+            text += f"\n  ... and {len(issues) - len(shown)} more"
+        raise RunLogError(text)

@@ -1,0 +1,59 @@
+"""Selection of the event-loop core: pure reference vs compiled twin.
+
+The simulator's per-record event loop lives in
+:mod:`repro.sim.engine_core` — a module deliberately written in the
+mypyc/Cython-compilable subset of Python (module-level functions, no
+closures over loop-mutated state, explicit locals).  The optional
+``[speed]`` install extra AOT-compiles a *generated twin* of that file,
+``repro/sim/engine_core_speed`` (an extension module built by
+``REPRO_SPEED=1 pip install -e .[speed]`` — see ``setup.py``); the
+``.py`` source of the twin is generated at build time and never checked
+in, so the pure-Python module remains the single reference
+implementation and the two can never drift.
+
+:func:`select_engine_core` returns the module the machine should drive:
+the compiled twin when importable, else the pure reference.  Setting
+``REPRO_NO_COMPILED_ENGINE=1`` in the environment forces the pure
+module even when the twin is built (the kill switch CI uses to prove
+the fallback, and the escape hatch if a compiled build ever
+misbehaves).  Selection happens per ``Machine`` construction, so tests
+can flip the environment between machines.
+
+Byte-identity is the hard invariant: both modules execute the identical
+source, so every statistic of a run is independent of which one is
+selected — enforced by the engine test suite, the fuzz ``--engine``
+axis, and the CI ``compiled`` job's artifact ``cmp``.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Environment variable that forces the pure-Python event loop.
+KILL_SWITCH = "REPRO_NO_COMPILED_ENGINE"
+
+
+def select_engine_core():
+    """The event-loop module to drive: compiled twin or pure reference."""
+    from . import engine_core as pure
+
+    if os.environ.get(KILL_SWITCH) == "1":
+        return pure
+    try:
+        from . import engine_core_speed as compiled  # type: ignore
+    except ImportError:
+        return pure
+    return compiled
+
+
+def engine_kind(module=None) -> str:
+    """``"compiled"`` or ``"pure"`` for a selected engine-core module.
+
+    An AOT-built twin is an extension module (``__file__`` ends in a
+    platform ``.so``/``.pyd`` suffix, or is absent entirely); the
+    reference is the plain ``engine_core.py`` source.
+    """
+    if module is None:
+        module = select_engine_core()
+    fname = getattr(module, "__file__", "") or ""
+    return "pure" if fname.endswith(".py") else "compiled"

@@ -49,6 +49,9 @@ METRIC_SOURCES: Dict[str, str] = {
     "compile.columnar_batches": "columnar_batches",
     "compile.columnar_accesses": "columnar_accesses",
     "compile.columnar_residue": "columnar_residue",
+    "compile.columnar_store_batches": "columnar_store_batches",
+    "compile.columnar_store_accesses": "columnar_store_accesses",
+    "compile.columnar_store_residue": "columnar_store_residue",
 }
 
 
@@ -106,6 +109,12 @@ class SimulationStats:
     columnar_batches: int = field(default=0, compare=False)
     columnar_accesses: int = field(default=0, compare=False)
     columnar_residue: int = field(default=0, compare=False)
+    #: Same telemetry for the columnar *store* kernel: bulk commits of
+    #: private-line store runs, the stores they retired, and the
+    #: block-covered stores that fell back to the scalar path.
+    columnar_store_batches: int = field(default=0, compare=False)
+    columnar_store_accesses: int = field(default=0, compare=False)
+    columnar_store_residue: int = field(default=0, compare=False)
     #: Hottest profiled (load PC, store PC, failed cycles, violations)
     #: tuples, worst first.  Run telemetry for the observability report;
     #: compare=False so architectural-equality checks stay unaffected.

@@ -8,12 +8,21 @@ observer attached and the serial-replay oracle checking the result.
 Each (mode, config) case runs through *both* simulator paths — compiled
 traces and fully interpreted — and the two runs must agree on every
 simulation statistic, making the trace compiler itself a fuzzed axis.
-A third, observer-free differential pair compares the columnar bulk
-load resolver (``columnar=True``) against the scalar compiled path, so
-the columnar kernel is fuzzed on exactly the configurations where it
-engages.
+Observer-free differential pairs additionally compare the columnar
+bulk resolvers (loads and stores) against the scalar compiled path and
+against each other, so both columnar kernels are fuzzed on exactly the
+configurations where they engage.
 With ``--check-invariants`` the cycle-level invariant checker runs as
 well, at a tight sweep interval.
+
+``--engine`` switches to the engine axis: per seed, the same (workload,
+config, mode) runs once under the engine module the environment selects
+(the compiled twin when built) and once with the
+``REPRO_NO_COMPILED_ENGINE`` kill switch forcing the pure-Python
+reference, and the two must agree on every statistic.  On a source
+checkout without the ``[speed]`` build both runs take the pure module —
+still a valid determinism check — while the CI compiled job turns it
+into a real compiled-vs-pure differential.
 
 On a failure the driver re-runs the failing (trace, config, mode) while
 shrinking the workload (drop transactions, then segments, then epochs,
@@ -37,6 +46,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import random
 import sys
 from pathlib import Path
@@ -44,7 +54,8 @@ from typing import List, Optional, Tuple
 
 from ..core.engine import TLSConfig
 from ..cpu.pipeline import PipelineConfig
-from ..sim import ExecutionMode, Machine, MachineConfig
+from ..sim import ExecutionMode, Machine, MachineConfig, engine_kind
+from ..sim.engine import KILL_SWITCH
 from ..trace.addressmap import AddressMap
 from ..trace.events import (
     EpochTrace,
@@ -247,12 +258,13 @@ def _run_case(
     message, or None when the run is equivalent.
 
     Every case runs twice under the oracle — once through the
-    compiled-trace fast path and once fully interpreted — plus a third
-    differential pair *without* the oracle attached: the columnar bulk
-    load resolver only engages when no observer demands per-record
-    callbacks, so a bare columnar run is compared against a bare
-    ``columnar=False`` run (every load through the scalar reference
-    path).  All comparisons must produce equal simulation statistics;
+    compiled-trace fast path and once fully interpreted — plus
+    observer-free differential pairs: the columnar bulk resolvers only
+    engage when no observer demands per-record callbacks, so a bare
+    fully-columnar run is compared against a bare scalar run (both
+    kernels off) *and* against a loads-only run (``columnar_stores=
+    False``), isolating the store kernel as its own axis.  All
+    comparisons must produce equal simulation statistics;
     ``SimulationStats.__eq__`` already ignores the compile/columnar
     telemetry counters, which are the only fields allowed to differ.
     """
@@ -272,12 +284,22 @@ def _run_case(
             config, compile_traces=True, columnar=True
         )).run(workload)
         scalar_stats = Machine(dataclasses.replace(
-            config, compile_traces=True, columnar=False
+            config, compile_traces=True, columnar=False,
+            columnar_stores=False,
         )).run(workload)
         if columnar_stats != scalar_stats:
             return (
-                "ColumnarPathMismatch: columnar bulk-load stats differ "
+                "ColumnarPathMismatch: columnar bulk stats differ "
                 "from the scalar compiled path"
+            )
+        stores_off_stats = Machine(dataclasses.replace(
+            config, compile_traces=True, columnar=True,
+            columnar_stores=False,
+        )).run(workload)
+        if columnar_stats != stores_off_stats:
+            return (
+                "ColumnarStoreMismatch: columnar bulk-store stats "
+                "differ from the loads-only columnar path"
             )
     except (OracleMismatch, InvariantError, AssertionError) as exc:
         return f"{type(exc).__name__}: {exc}"
@@ -513,6 +535,51 @@ def run_seed(
             message += f" [repro: {path}]"
         failures.append(message)
     return failures
+
+
+def run_engine_seed(seed: int, profile: str = "default") -> Optional[str]:
+    """The engine fuzz axis: selected event loop vs forced-pure.
+
+    Per seed, one random (workload, config) pair replays under every
+    execution mode twice — once with whatever engine module
+    ``repro.sim.engine`` selects (the compiled twin when a ``[speed]``
+    build is importable) and once with the kill switch forcing the
+    pure-Python reference — and every statistic must match.  Selection
+    happens per Machine construction, so the environment flip is
+    scoped to exactly one run.
+    """
+    rng = random.Random(seed)
+    workload = random_workload(rng, profile=profile)
+    base = random_machine_config(rng, profile=profile)
+    try:
+        assert_clean(workload)
+    except TraceLintError as exc:
+        return f"seed {seed}: lint: {exc}"
+    for mode in ExecutionMode.ALL:
+        config = MachineConfig.for_mode(mode, base=base)
+        try:
+            selected_stats = Machine(config).run(workload)
+            had_switch = os.environ.get(KILL_SWITCH)
+            os.environ[KILL_SWITCH] = "1"
+            try:
+                pure_stats = Machine(config).run(workload)
+            finally:
+                if had_switch is None:
+                    del os.environ[KILL_SWITCH]
+                else:
+                    os.environ[KILL_SWITCH] = had_switch
+        except Exception as exc:  # simulator crash is a finding too
+            return (
+                f"seed {seed} mode {mode}: engine axis crashed: "
+                f"{type(exc).__name__}: {exc}"
+            )
+        if selected_stats != pure_stats:
+            return (
+                f"seed {seed} mode {mode}: EngineMismatch: "
+                f"{engine_kind()} engine stats differ from the "
+                "forced-pure reference"
+            )
+    return None
 
 
 def run_sampling_seed(seed: int, profile: str = "default"
@@ -783,8 +850,32 @@ def main(argv=None) -> int:
                              "ladder, profile additivity over "
                              "transaction slices, and violation-cost "
                              "sanity (repro.trace.reuse)")
+    parser.add_argument("--engine", action="store_true",
+                        help="fuzz the event-loop engine axis instead: "
+                             "per seed, the selected engine module "
+                             "(compiled twin when built) vs the "
+                             "REPRO_NO_COMPILED_ENGINE-forced pure-"
+                             "Python reference must be stat-equal in "
+                             "every mode")
     parser.add_argument("-q", "--quiet", action="store_true")
     args = parser.parse_args(argv)
+
+    if args.engine:
+        engine_failures: List[str] = []
+        print(f"engine axis: selected engine is {engine_kind()!r}")
+        for seed in range(args.start, args.start + args.seeds):
+            error = run_engine_seed(seed, profile=args.profile)
+            if error is not None:
+                engine_failures.append(error)
+                print(f"FAIL {error}")
+            elif not args.quiet:
+                print(f"ok   seed {seed}")
+        if engine_failures:
+            print(f"\n{len(engine_failures)} failure(s) over "
+                  f"{args.seeds} seeds")
+            return 1
+        print(f"\nall {args.seeds} engine seeds passed")
+        return 0
 
     if args.prediction:
         prediction_failures: List[str] = []

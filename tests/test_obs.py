@@ -15,6 +15,7 @@ from repro.obs import (
     MetricsRegistry,
     ProgressReporter,
     SpanTracer,
+    assert_valid_bench_trajectory,
     assert_valid_run_log,
     atomic_output_file,
     atomic_write_json,
@@ -23,6 +24,7 @@ from repro.obs import (
     config_hash,
     finish_manifest,
     format_eta,
+    lint_bench_trajectory,
     lint_run_log,
     manifest_path,
     render_report,
@@ -529,3 +531,82 @@ class TestDependenceProfilerPairs:
             (0x30, 0x40, 900.0, 1),
             (0x10, 0x20, 150.0, 2),
         ]
+
+
+class TestBenchTrajectoryLint:
+    def _entry(self, **over):
+        entry = {
+            "runner": "local",
+            "scale": "tiny",
+            "scenario": "inner_loop",
+            "python": "3.11.7",
+            "records": 1000,
+            "records_per_second": 50000.0,
+            "manifest": None,
+        }
+        entry.update(over)
+        return entry
+
+    def _write(self, tmp_path, entries):
+        path = tmp_path / "BENCH_speed.json"
+        path.write_text(json.dumps(entries))
+        return path
+
+    def test_valid_trajectory_clean(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            [
+                self._entry(),
+                self._entry(
+                    scenario="speculative",
+                    ratio_to_previous=1.02,
+                    median_records_per_second=49000.0,
+                    stdev_records_per_second=120.0,
+                ),
+            ],
+        )
+        assert lint_bench_trajectory(path) == []
+        assert_valid_bench_trajectory(path)
+
+    def test_repo_trajectory_clean(self):
+        repo = os.path.join(os.path.dirname(__file__), "..")
+        path = os.path.join(repo, "BENCH_speed.json")
+        assert lint_bench_trajectory(path) == []
+
+    def test_missing_manifest_key_flagged(self, tmp_path):
+        entry = self._entry()
+        del entry["manifest"]
+        path = self._write(tmp_path, [entry])
+        issues = "\n".join(lint_bench_trajectory(path))
+        assert "missing manifest key" in issues
+
+    def test_bad_entries_flagged(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            [
+                self._entry(records=0),
+                self._entry(records_per_second="fast"),
+                self._entry(scenario=""),
+                self._entry(ratio_to_previous=-1.0),
+                "not-an-object",
+            ],
+        )
+        issues = "\n".join(lint_bench_trajectory(path))
+        assert "entry 0: records" in issues
+        assert "entry 1: records_per_second" in issues
+        assert "entry 2: scenario" in issues
+        assert "entry 3" in issues
+        assert "entry 4: not an object" in issues
+        with pytest.raises(RunLogError):
+            assert_valid_bench_trajectory(path)
+
+    def test_not_an_array(self, tmp_path):
+        path = self._write(tmp_path, {"runner": "x"})
+        assert lint_bench_trajectory(path) == [
+            "trajectory is not a JSON array"
+        ]
+
+    def test_unreadable(self, tmp_path):
+        assert "unreadable trajectory" in lint_bench_trajectory(
+            tmp_path / "absent.json"
+        )[0]
